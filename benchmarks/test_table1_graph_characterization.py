@@ -1,0 +1,57 @@
+"""Table I — characterization of the eight evaluation graphs plus the
+vertex/edge imbalance VEBO achieves at P = 384.
+
+The paper reports Delta(n) = delta(n) = 1 for six of eight graphs (small
+single-digit values for the other two).  Our stand-ins reproduce those
+columns whenever the theorem preconditions hold at laptop scale.
+"""
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.properties import characterize
+from repro.metrics import format_table
+from repro.ordering.vebo import vebo_order
+
+from conftest import BENCH_SCALE, load_cached, print_header
+
+P = 384
+
+
+def characterization_rows():
+    rows = []
+    for name in datasets.DEFAULT_SUITE:
+        g = load_cached(name, BENCH_SCALE)
+        c = characterize(g)
+        _, meta = vebo_order(g, P)
+        row = c.as_row()
+        row["delta(n)"] = meta["vertex_imbalance"]
+        row["Delta(n)"] = meta["edge_imbalance"]
+        precondition = c.num_edges >= (c.max_in_degree + 1) * (P - 1)
+        row["Thm1-ok"] = precondition
+        rows.append(row)
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(characterization_rows, rounds=1, iterations=1)
+    print_header(f"Table I: graph characterization + VEBO balance at P={P}")
+    print(format_table(rows))
+
+    by_name = {r["Graph"]: r for r in rows}
+    # vertex balance is achieved everywhere, like the paper's table
+    for r in rows:
+        assert r["delta(n)"] <= 9, r["Graph"]
+    # power-law graphs satisfying the Theorem 1 precondition achieve
+    # Delta <= 1 (the theorem additionally assumes a Zipf shape — our road
+    # grid has no degree-1 tail, unlike the paper's USAroad with its
+    # dead-end roads, so Lemma 1 only bounds it by a small constant there)
+    for r in rows:
+        if r["Thm1-ok"] and r["Graph"] != "usaroad-like":
+            assert r["Delta(n)"] <= 1, r["Graph"]
+    assert by_name["usaroad-like"]["Delta(n)"] <= 4
+    # shape checks against the paper's table
+    assert by_name["friendster-like"]["%ZeroIn"] > 40
+    assert by_name["usaroad-like"]["MaxDegree"] <= 9
+    assert by_name["twitter-like"]["Type"] == "directed"
+    assert by_name["orkut-like"]["Type"] == "undirected"

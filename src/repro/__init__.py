@@ -1,0 +1,62 @@
+"""repro — reproduction of "VEBO: A Vertex- and Edge-Balanced Ordering
+Heuristic to Load Balance Parallel Graph Processing" (PPoPP 2019).
+
+Public API tour
+---------------
+``repro.graph``
+    CSR/CSC/COO structures, generators, I/O, characterization (Table I).
+``repro.ordering``
+    VEBO (Algorithm 2) and baselines: RCM, Gorder, degree-sort, random,
+    SlashBurn, LDG, Fennel.
+``repro.partition``
+    Algorithm 1 chunk partitioning and imbalance metrics (Delta, delta).
+``repro.edgeorder``
+    Hilbert space-filling-curve / CSR / CSC edge orders (Section V-G).
+``repro.frameworks``
+    Frontier engine (edgemap/vertexmap, direction optimization) and the
+    Ligra / Polymer / GraphGrind personalities.
+``repro.algorithms``
+    The eight evaluation algorithms of Table II.
+``repro.machine``
+    Deterministic machine model: cost model, schedulers, NUMA topology,
+    cache/TLB/branch simulators.
+``repro.theory``
+    Zipf degree model; Lemma 1 / Theorem 1 / Theorem 2 checkers.
+``repro.experiments``
+    End-to-end configuration runner behind the benchmark harness.
+
+Quickstart
+----------
+>>> from repro.graph import datasets
+>>> from repro.ordering import vebo, apply_ordering
+>>> from repro.partition import partition_by_destination
+>>> g = datasets.load("twitter", scale=0.1)
+>>> order = vebo(g, num_partitions=384)
+>>> pg = partition_by_destination(
+...     apply_ordering(g, order), 384, boundaries=order.meta["boundaries"])
+>>> pg.edge_imbalance() <= 1 and pg.vertex_imbalance() <= 1
+True
+"""
+
+from repro.errors import (
+    GraphFormatError,
+    InvalidGraphError,
+    OrderingError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    TheoremPreconditionError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphFormatError",
+    "InvalidGraphError",
+    "OrderingError",
+    "PartitionError",
+    "ReproError",
+    "SimulationError",
+    "TheoremPreconditionError",
+    "__version__",
+]

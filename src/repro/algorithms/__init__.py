@@ -1,0 +1,37 @@
+"""The paper's eight graph algorithms (Table II) on the frontier engine."""
+
+from repro.algorithms.common import AlgorithmResult, edge_weights
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.pagerank_delta import pagerank_delta
+from repro.algorithms.bfs import bfs
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.cc import connected_components
+from repro.algorithms.spmv import spmv
+from repro.algorithms.bellman_ford import bellman_ford
+from repro.algorithms.bp import belief_propagation
+
+#: Table II registry: code -> (callable, traversal, orientation).
+ALGORITHMS = {
+    "BC": betweenness_centrality,
+    "CC": connected_components,
+    "PR": pagerank,
+    "BFS": bfs,
+    "PRD": pagerank_delta,
+    "SPMV": spmv,
+    "BF": bellman_ford,
+    "BP": belief_propagation,
+}
+
+__all__ = [
+    "AlgorithmResult",
+    "edge_weights",
+    "pagerank",
+    "pagerank_delta",
+    "bfs",
+    "betweenness_centrality",
+    "connected_components",
+    "spmv",
+    "bellman_ford",
+    "belief_propagation",
+    "ALGORITHMS",
+]

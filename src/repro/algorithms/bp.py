@@ -1,0 +1,84 @@
+"""Bayesian belief propagation (the paper's BP, 10 iterations).
+
+A damped loopy belief-propagation sweep over a binary pairwise MRF whose
+node priors and edge couplings are synthesized deterministically from the
+(original) vertex ids.  We keep per-vertex *beliefs* in log-odds form and,
+on every iteration, each vertex absorbs a tanh-attenuated message from
+every in-neighbour — the standard Ising-model BP message with the
+"previous-message subtraction" dropped, which turns the update into a pure
+gather/sum over in-edges.  That simplification keeps the algorithm an
+*edge-oriented, dense-frontier* workload with the same access pattern as
+the original frameworks' BP (Table II classifies BP as F/E/dense), which
+is what the runtime experiments measure; it remains a real fixed-point
+computation with converging beliefs rather than a synthetic loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import AlgorithmResult, edge_weights, make_engine
+from repro.frameworks.engine import EdgeOp
+from repro.frameworks.frontier import Frontier
+from repro.graph.csr import Graph
+
+__all__ = ["belief_propagation"]
+
+
+def belief_propagation(
+    graph: Graph,
+    num_iterations: int = 10,
+    damping: float = 0.5,
+    coupling: float = 0.2,
+    orig_ids: np.ndarray | None = None,
+    num_partitions: int = 384,
+    boundaries=None,
+) -> AlgorithmResult:
+    """Run ``num_iterations`` damped BP sweeps; returns final log-odds
+    beliefs and per-vertex marginals."""
+    n = graph.num_vertices
+    engine = make_engine(graph, num_partitions, "BP", boundaries)
+
+    ids = np.arange(n, dtype=np.int64)
+    orig = ids if orig_ids is None else np.asarray(orig_ids, dtype=np.int64)
+    # Priors in [-1, 1], deterministic per original vertex id.
+    prior = (((orig * 2654435761) & 0xFFFF).astype(np.float64) / 0xFFFF) * 2.0 - 1.0
+
+    state = {
+        "belief": prior.copy(),
+        "acc": np.zeros(n, dtype=np.float64),
+    }
+
+    def gather(srcs, dsts, st):
+        # Edge coupling strength scales with the synthetic weight.
+        w = coupling * edge_weights(srcs, dsts, orig_ids) / 32.0
+        return np.arctanh(np.tanh(w) * np.tanh(np.clip(st["belief"][srcs], -10, 10)))
+
+    def apply(touched, reduced, st):
+        st["acc"][touched] = reduced
+        return np.ones(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+    frontier = Frontier.all_vertices(n)
+    for _ in range(num_iterations):
+        state["acc"].fill(0.0)
+        # Forward (push) sweep, per Table II: every vertex sends its
+        # attenuated belief along its out-edges; the add-reduction at the
+        # destinations computes the same in-neighbour sum as a pull.
+        engine.edgemap(frontier, op, state, direction="push")
+
+        def fold(ids_, st):
+            st["belief"] = (1.0 - damping) * st["belief"] + damping * (
+                prior + st["acc"]
+            )
+            return None
+
+        engine.vertexmap(frontier, fold, state)
+    belief = state["belief"]
+    marginal = 1.0 / (1.0 + np.exp(-2.0 * np.clip(belief, -30, 30)))
+    return AlgorithmResult(
+        name="BP",
+        values={"belief": belief, "marginal": marginal},
+        trace=engine.trace,
+        iterations=num_iterations,
+    )

@@ -1,0 +1,57 @@
+"""Sparse matrix-vector multiplication (the paper's SPMV, one iteration).
+
+``y = A x`` where A is the graph's adjacency matrix with synthetic
+deterministic weights and x is a seeded random vector.  One dense pull
+edgemap — the purest edge-oriented, dense-frontier workload in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import AlgorithmResult, edge_weights, make_engine
+from repro.frameworks.engine import EdgeOp
+from repro.frameworks.frontier import Frontier
+from repro.graph.csr import Graph
+
+__all__ = ["spmv"]
+
+
+def spmv(
+    graph: Graph,
+    x: np.ndarray | None = None,
+    orig_ids: np.ndarray | None = None,
+    num_partitions: int = 384,
+    boundaries=None,
+    seed: int = 7,
+) -> AlgorithmResult:
+    """One y = A x product; weights hash the (original) edge endpoints."""
+    n = graph.num_vertices
+    if x is None:
+        rng = np.random.default_rng(seed)
+        base = rng.random(n)
+        # The input vector must also be order-invariant: index by original id.
+        x = base if orig_ids is None else base[np.asarray(orig_ids, dtype=np.int64)]
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (n,):
+        raise ValueError("x must have one entry per vertex")
+    engine = make_engine(graph, num_partitions, "SPMV", boundaries)
+    state = {"y": np.zeros(n, dtype=np.float64)}
+
+    def gather(srcs, dsts, st):
+        return x[srcs] * edge_weights(srcs, dsts, orig_ids)
+
+    def apply(touched, reduced, st):
+        st["y"][touched] = reduced
+        return np.zeros(touched.size, dtype=bool)  # single pass, no frontier
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+    # Forward (push / CSR-order) traversal, matching Table II's "F" entry:
+    # SPMV streams the matrix rows source-major.
+    engine.edgemap(Frontier.all_vertices(n), op, state, direction="push")
+    return AlgorithmResult(
+        name="SPMV",
+        values={"y": state["y"], "x": x},
+        trace=engine.trace,
+        iterations=1,
+    )

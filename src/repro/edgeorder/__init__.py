@@ -1,0 +1,13 @@
+"""Edge traversal orders: Hilbert space-filling curve, CSR/CSC, random."""
+
+from repro.edgeorder.hilbert import hilbert_d2xy, hilbert_index, hilbert_order_edges
+from repro.edgeorder.orders import EDGE_ORDERS, EdgeOrderResult, order_edges
+
+__all__ = [
+    "hilbert_d2xy",
+    "hilbert_index",
+    "hilbert_order_edges",
+    "EDGE_ORDERS",
+    "EdgeOrderResult",
+    "order_edges",
+]

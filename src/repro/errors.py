@@ -1,0 +1,36 @@
+"""Exception hierarchy for the VEBO reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures without masking programming errors (``TypeError``,
+``KeyError``, ...) raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory structure violates its format contract."""
+
+
+class InvalidGraphError(ReproError):
+    """A graph structure is internally inconsistent (bad offsets, ids...)."""
+
+
+class OrderingError(ReproError):
+    """A vertex ordering is not a permutation or violates a precondition."""
+
+
+class PartitionError(ReproError):
+    """A partitioning request is infeasible or a partition is malformed."""
+
+
+class TheoremPreconditionError(ReproError):
+    """A theorem-checking helper was invoked outside its preconditions."""
+
+
+class SimulationError(ReproError):
+    """A machine-model simulation was configured inconsistently."""

@@ -1,0 +1,11 @@
+"""Experiment orchestration: configuration runner and sweeps."""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    PreparedGraph,
+    prepare,
+    run,
+    run_sweep,
+)
+
+__all__ = ["ExperimentResult", "PreparedGraph", "prepare", "run", "run_sweep"]

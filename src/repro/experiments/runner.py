@@ -1,0 +1,221 @@
+"""High-level experiment runner: one (graph, ordering, framework, algorithm)
+configuration end to end.
+
+The pipeline mirrors the paper's Figure 2: vertex reordering -> chunk
+partitioning -> graph processing, then pricing under a framework
+personality.  The runner also applies the per-framework configuration rules
+of Sections IV and V-G:
+
+* partition counts: Ligra 384 (implicit Cilk range chunks), Polymer 4
+  (one per socket), GraphGrind 384;
+* GraphGrind's dense COO edge order: Hilbert for Original/RCM/Gorder,
+  CSR order for VEBO (the Section V-G finding);
+* VEBO configurations partition at VEBO's own boundaries; all other
+  orderings go through Algorithm 1's scan.
+
+Results carry both the estimate and enough metadata to build every table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS
+from repro.frameworks.personality import (
+    FRAMEWORKS,
+    FrameworkModel,
+    RuntimeEstimate,
+)
+from repro.graph.coo import COOEdges
+from repro.graph.csr import Graph
+from repro.edgeorder.hilbert import hilbert_order_edges
+from repro.machine.locality import measure_stream
+from repro.ordering import apply_ordering, get_ordering
+from repro.partition.algorithm1 import chunk_boundaries
+
+__all__ = ["ExperimentResult", "PreparedGraph", "prepare", "run", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class PreparedGraph:
+    """A graph after reordering, with everything pricing needs."""
+
+    graph: Graph
+    ordering: str
+    perm: np.ndarray              # original id -> new id
+    orig_ids: np.ndarray          # new id -> original id
+    boundaries: np.ndarray | None  # VEBO's exact boundaries, else None
+    ordering_seconds: float
+    locality: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One cell of Table III (plus the trace behind it)."""
+
+    graph: str
+    algorithm: str
+    framework: str
+    ordering: str
+    seconds: float
+    iterations: int
+    ordering_seconds: float
+    estimate: RuntimeEstimate
+
+
+def _edge_order_for(framework: str, ordering: str) -> str:
+    """GraphGrind's COO order policy (Section V-G); others use CSR/CSC."""
+    if framework == "graphgrind":
+        return "csr" if ordering == "vebo" else "hilbert"
+    return "csc"
+
+
+def _locality_window(num_vertices: int) -> int:
+    """Reuse window (in accesses) modelling a cache much smaller than the
+    graph.  The paper's graphs exceed the LLC by ~100x; our stand-ins are
+    small, so the window shrinks with the vertex count to keep the
+    cache:graph ratio — and therefore the *relative* locality of different
+    orders — comparable."""
+    return int(min(4096, max(64, num_vertices // 12)))
+
+
+def _measure_locality(graph: Graph, edge_order: str, sample: int = 200_000) -> tuple[float, float]:
+    """Miss fractions of the (src, dst) streams under the edge order the
+    framework actually traverses."""
+    if edge_order == "hilbert":
+        coo = hilbert_order_edges(COOEdges.from_graph(graph, order="csr"))
+        srcs, dsts = coo.src, coo.dst
+    elif edge_order == "csr":
+        srcs, dsts = graph.edges()
+    else:  # csc
+        srcs, dsts = graph.edges_csc()
+    if srcs.size > sample:
+        start = (srcs.size - sample) // 2
+        srcs = srcs[start : start + sample]
+        dsts = dsts[start : start + sample]
+    window = _locality_window(graph.num_vertices)
+    return (
+        measure_stream(srcs, window=window).miss_fraction(),
+        measure_stream(dsts, window=window).miss_fraction(),
+    )
+
+
+def prepare(
+    graph: Graph,
+    ordering: str,
+    num_partitions: int,
+    **ordering_kwargs,
+) -> PreparedGraph:
+    """Reorder ``graph`` and compute the permutation bookkeeping."""
+    factory = get_ordering(ordering)
+    if ordering == "vebo":
+        ordering_kwargs.setdefault("num_partitions", num_partitions)
+    result = factory(graph, **ordering_kwargs)
+    reordered = apply_ordering(graph, result)
+    boundaries = None
+    if ordering == "vebo":
+        boundaries = result.meta.get("boundaries")
+    return PreparedGraph(
+        graph=reordered,
+        ordering=ordering,
+        perm=result.perm,
+        orig_ids=result.inverse(),
+        boundaries=boundaries,
+        ordering_seconds=result.seconds,
+    )
+
+
+def run(
+    graph: Graph,
+    algorithm: str,
+    framework: str | FrameworkModel,
+    ordering: str = "original",
+    prepared: PreparedGraph | None = None,
+    locality: tuple[float, float] | None = None,
+    **algo_kwargs,
+) -> ExperimentResult:
+    """Run one configuration and price it.
+
+    ``prepared`` short-circuits the reordering when the caller sweeps many
+    algorithms over one prepared graph.
+    """
+    fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
+    p = fw.default_partitions
+    if prepared is None:
+        prepared = prepare(graph, ordering, num_partitions=p)
+    g = prepared.graph
+
+    if prepared.boundaries is not None and prepared.boundaries.size == p + 1:
+        boundaries = prepared.boundaries
+    else:
+        boundaries = chunk_boundaries(g.in_degrees(), p)
+
+    algo_fn = ALGORITHMS[algorithm]
+    kwargs = dict(algo_kwargs)
+    kwargs["num_partitions"] = p
+    kwargs["boundaries"] = boundaries
+    if algorithm in ("SPMV", "BF", "BP"):
+        kwargs.setdefault("orig_ids", prepared.orig_ids)
+    if algorithm in ("BFS", "BC", "BF"):
+        # The traversal source must be the same *original* vertex under
+        # every ordering or the computations are not comparable; default to
+        # the original graph's highest-out-degree vertex (a hub reaches a
+        # large component, giving frontiers something to do).
+        src_orig = kwargs.pop("source_orig", None)
+        if src_orig is None:
+            src_orig = int(np.argmax(graph.out_degrees()))
+        kwargs["source"] = int(prepared.perm[src_orig])
+    result = algo_fn(g, **kwargs)
+
+    if locality is None:
+        edge_order = _edge_order_for(fw.name, prepared.ordering)
+        key = edge_order
+        if key not in prepared.locality:
+            prepared.locality[key] = _measure_locality(g, edge_order)
+        locality = prepared.locality[key]
+    estimate = fw.price(result.trace, g, locality=locality)
+    return ExperimentResult(
+        graph=graph.name,
+        algorithm=algorithm,
+        framework=fw.name,
+        ordering=prepared.ordering,
+        seconds=estimate.seconds,
+        iterations=result.iterations,
+        ordering_seconds=prepared.ordering_seconds,
+        estimate=estimate,
+    )
+
+
+def run_sweep(
+    graph: Graph,
+    algorithms: list[str],
+    frameworks: list[str],
+    orderings: list[str],
+    **algo_kwargs,
+) -> list[ExperimentResult]:
+    """The Table III inner loop for one graph: all combinations, reusing
+    each reordered graph across frameworks and algorithms."""
+    results: list[ExperimentResult] = []
+    for fw_name in frameworks:
+        fw = FRAMEWORKS[fw_name]
+        prepared_cache: dict[tuple[str, int], PreparedGraph] = {}
+        for ordering in orderings:
+            key = (ordering, fw.default_partitions)
+            if key not in prepared_cache:
+                prepared_cache[key] = prepare(graph, ordering, fw.default_partitions)
+            prep = prepared_cache[key]
+            for algo in algorithms:
+                results.append(
+                    run(
+                        graph,
+                        algo,
+                        fw,
+                        ordering=ordering,
+                        prepared=prep,
+                        **algo_kwargs.get(algo, {}),
+                    )
+                )
+    return results

@@ -1,0 +1,31 @@
+"""Frontier engine, work traces and framework personalities."""
+
+from repro.frameworks.frontier import DensityClass, Frontier
+from repro.frameworks.trace import IterationRecord, WorkTrace
+from repro.frameworks.engine import EdgeOp, Engine, gather_rows
+from repro.frameworks.personality import (
+    FRAMEWORKS,
+    FrameworkModel,
+    GRAPHGRIND,
+    LIGRA,
+    POLYMER,
+    RuntimeEstimate,
+    measure_layout_locality,
+)
+
+__all__ = [
+    "DensityClass",
+    "Frontier",
+    "IterationRecord",
+    "WorkTrace",
+    "EdgeOp",
+    "Engine",
+    "gather_rows",
+    "FRAMEWORKS",
+    "FrameworkModel",
+    "GRAPHGRIND",
+    "LIGRA",
+    "POLYMER",
+    "RuntimeEstimate",
+    "measure_layout_locality",
+]

@@ -1,0 +1,83 @@
+"""Execution traces: what an algorithm did, per iteration and per partition.
+
+Runtimes in this reproduction are computed in two stages: graph algorithms
+execute *semantically* (producing correct ranks, distances, labels...) while
+recording a :class:`WorkTrace` of how much work each partition contributed
+on each iteration; the framework personalities then price the trace with
+the machine model.  Decoupling execution from pricing keeps the algorithms
+pure and lets one trace be re-priced under several framework models —
+exactly how the Table III sweep stays tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frameworks.frontier import DensityClass
+
+__all__ = ["IterationRecord", "WorkTrace"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Work performed by one edgemap/vertexmap step.
+
+    Per-partition arrays all have length P (the partition count of the
+    layout under which the trace was recorded).
+    """
+
+    kind: str                       # "edgemap" | "vertexmap"
+    direction: str                  # "push" | "pull" | "-" (vertexmap)
+    density: DensityClass
+    active_vertices: int
+    active_edges: int
+    part_edges: np.ndarray          # edges processed per partition
+    part_dsts: np.ndarray           # distinct destinations updated per partition
+    part_srcs: np.ndarray           # distinct sources read per partition
+    part_vertices: np.ndarray       # vertexmap work per partition chunk
+    src_miss: float = -1.0          # measured miss fraction of this step's
+    dst_miss: float = -1.0          # source/destination access streams
+    #                                 (-1 = not measured; pricing falls back
+    #                                 to the layout-level measurement)
+
+    def total_edges(self) -> int:
+        return int(self.part_edges.sum())
+
+
+@dataclass
+class WorkTrace:
+    """Sequence of iteration records plus identifying metadata."""
+
+    algorithm: str
+    graph_name: str
+    num_partitions: int
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    def total_edges(self) -> int:
+        return sum(r.total_edges() for r in self.records)
+
+    def edgemap_records(self) -> list[IterationRecord]:
+        return [r for r in self.records if r.kind == "edgemap"]
+
+    def vertexmap_records(self) -> list[IterationRecord]:
+        return [r for r in self.records if r.kind == "vertexmap"]
+
+    def density_classes(self) -> set[DensityClass]:
+        """The set of frontier classes seen — Table II's F column."""
+        return {r.density for r in self.records if r.kind == "edgemap"}
+
+    def dominant_direction(self) -> str:
+        """"B" if most edgemap work ran pull (backward), else "F" — the
+        Table II traversal-direction column."""
+        pull = sum(r.total_edges() for r in self.records if r.direction == "pull")
+        push = sum(r.total_edges() for r in self.records if r.direction == "push")
+        return "B" if pull >= push else "F"

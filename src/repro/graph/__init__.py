@@ -1,0 +1,20 @@
+"""Graph substrate: structures, generators, I/O and characterization."""
+
+from repro.graph.csr import CSRMatrix, Graph
+from repro.graph.coo import COOEdges
+from repro.graph.properties import (
+    GraphCharacterization,
+    characterize,
+    degree_histogram,
+    estimate_zipf_s,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "Graph",
+    "COOEdges",
+    "GraphCharacterization",
+    "characterize",
+    "degree_histogram",
+    "estimate_zipf_s",
+]

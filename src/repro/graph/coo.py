@@ -1,0 +1,99 @@
+"""Coordinate-format (COO) edge lists with controllable traversal order.
+
+GraphGrind processes *dense* frontiers over a COO representation whose edge
+order is a tuning knob: the paper compares Hilbert space-filling-curve order
+against CSR (source-major) order (Section V-G, Figure 6).  This module holds
+the COO container; the order-generating policies live in
+:mod:`repro.edgeorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.graph.csr import INDEX_DTYPE, Graph, _as_index_array
+
+__all__ = ["COOEdges"]
+
+
+@dataclass(frozen=True)
+class COOEdges:
+    """An ordered edge list ``(src[i], dst[i])``.
+
+    The *order* of the arrays is semantically meaningful: machine-model
+    simulations traverse edges exactly in array order, so two ``COOEdges``
+    over the same edge set but different permutations model different
+    memory-access schedules.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_vertices: int
+    order_name: str = field(default="unspecified", compare=False)
+
+    def __post_init__(self) -> None:
+        src = _as_index_array(self.src, "src")
+        dst = _as_index_array(self.dst, "dst")
+        if src.shape != dst.shape:
+            raise InvalidGraphError("src and dst must have equal length")
+        n = int(self.num_vertices)
+        if n < 0:
+            raise InvalidGraphError("num_vertices must be non-negative")
+        if src.size and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n):
+            raise InvalidGraphError("edge endpoint out of range")
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "num_vertices", n)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, order: str = "csr") -> "COOEdges":
+        """Extract the edge list of ``graph`` in ``"csr"`` (source-major) or
+        ``"csc"`` (destination-major) order."""
+        if order == "csr":
+            src, dst = graph.edges()
+        elif order == "csc":
+            src, dst = graph.edges_csc()
+        else:
+            raise ValueError(f"unknown base order {order!r}; use 'csr' or 'csc'")
+        return cls(src=src, dst=dst, num_vertices=graph.num_vertices, order_name=order)
+
+    def permuted(self, perm: np.ndarray, order_name: str) -> "COOEdges":
+        """A new edge list visiting edge ``perm[i]`` at position ``i``."""
+        perm = np.asarray(perm, dtype=INDEX_DTYPE)
+        if perm.shape != (self.num_edges,):
+            raise InvalidGraphError("edge permutation has wrong length")
+        if not np.array_equal(np.sort(perm), np.arange(self.num_edges, dtype=INDEX_DTYPE)):
+            raise InvalidGraphError("edge permutation is not a permutation")
+        return COOEdges(
+            src=self.src[perm],
+            dst=self.dst[perm],
+            num_vertices=self.num_vertices,
+            order_name=order_name,
+        )
+
+    def to_graph(self, name: str = "graph") -> Graph:
+        """Materialize CSR/CSC views (edge order is discarded)."""
+        return Graph.from_edges(self.src, self.dst, self.num_vertices, name=name)
+
+    def restrict_to_destinations(self, lo: int, hi: int) -> "COOEdges":
+        """Edges whose destination lies in ``[lo, hi)``, preserving order.
+
+        This is how a chunk partition (Algorithm 1) selects its edge subset
+        out of a globally-ordered COO stream.
+        """
+        mask = (self.dst >= lo) & (self.dst < hi)
+        return COOEdges(
+            src=self.src[mask],
+            dst=self.dst[mask],
+            num_vertices=self.num_vertices,
+            order_name=self.order_name,
+        )

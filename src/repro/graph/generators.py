@@ -1,0 +1,358 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The paper evaluates on Twitter, Friendster, Orkut, LiveJournal, Yahoo,
+USAroad, a SNAP power-law graph and RMAT27 (Table I).  Those datasets are
+multi-gigabyte downloads; the properties the VEBO analysis actually depends
+on are
+
+* the *in-degree distribution* — Zipf/power-law skew, the maximum degree
+  ``N - 1`` and the fraction of zero-in-degree vertices (Theorems 1 and 2),
+* directedness (directed social graphs have many zero-in-degree vertices,
+  symmetrized ones have almost none),
+* spatial structure for the road-network counter-example (Section V-B).
+
+Every generator here controls those knobs directly, so the stand-ins
+exercise the same code paths and phenomena at laptop scale.  All generators
+are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.graph.csr import INDEX_DTYPE, Graph
+
+__all__ = [
+    "zipf_powerlaw_graph",
+    "rmat_graph",
+    "erdos_renyi_graph",
+    "road_grid_graph",
+    "star_graph",
+    "chain_graph",
+    "complete_graph",
+    "permute_vertices",
+    "symmetrize",
+]
+
+
+# ----------------------------------------------------------------------
+# Power-law / Zipf generator (the paper's analytical model, Section III-A)
+# ----------------------------------------------------------------------
+
+def zipf_powerlaw_graph(
+    num_vertices: int,
+    s: float = 1.0,
+    max_degree: int | None = None,
+    zero_in_fraction: float | None = None,
+    directed: bool = True,
+    degree_locality: float = 0.0,
+    neighbor_locality: float = 0.0,
+    source_skew: float = 0.0,
+    seed: int = 0,
+    name: str | None = None,
+) -> Graph:
+    """Generate a graph whose *in-degree* distribution is Zipf.
+
+    The paper models in-degrees with a Zipf distribution over ranks
+    ``1..N`` where rank ``k`` has probability ``k^-s / H_{N,s}`` and maps to
+    degree ``k - 1`` — i.e. degree zero is the most frequent.  We sample a
+    degree for each vertex from exactly that distribution, then wire each
+    in-edge to a random source (a Chung–Lu-style configuration wiring).
+    Out-degrees are therefore approximately binomial, matching the paper's
+    "no assumption on out-degree".
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    s:
+        Zipf exponent (``s >= 0``); the paper relates it to the power-law
+        exponent by ``alpha = 1 + 1/s``.
+    max_degree:
+        ``N - 1``, the largest possible in-degree.  Defaults to
+        ``num_vertices // 8``.  Keep it below ``|E| / P`` for the partition
+        counts you intend to use so Theorem 1's ``|E| >= N (P - 1)``
+        precondition holds, as it does for the paper's (huge) graphs.
+    zero_in_fraction:
+        If given, overrides the natural Zipf zero-degree mass: the requested
+        fraction of vertices is forced to in-degree zero and the remaining
+        vertices draw from the Zipf distribution conditioned on nonzero
+        degree.  Used to mimic e.g. Friendster (48 % zero in-degree) versus
+        Orkut (~0 %).
+    directed:
+        If False, the sampled edge set is symmetrized (both directions
+        added), as for the paper's undirected datasets.
+    degree_locality:
+        In ``[0, 1)``.  Real crawled graphs number hubs early (BFS crawl
+        order) and keep communities in contiguous ID blocks, so a vertex's
+        degree correlates with its ID.  0 assigns degrees to IDs i.i.d.
+        (the "original" order is then statistically a random permutation);
+        values near 1 sort degrees descending by ID with only local noise.
+        This knob is what gives the *Original* configuration of the
+        experiments something to be imbalanced about.
+    neighbor_locality:
+        In ``[0, 1)``: the probability that an in-edge's source is drawn
+        *near* its destination (Laplace-distributed offset) instead of
+        uniformly.  Models community/crawl locality; it is the structure
+        that a random permutation destroys (Figure 5) and that RCM/Gorder
+        exploit.
+    source_skew:
+        Exponent ``>= 0`` applied when sampling edge sources: source ``v``
+        is drawn with probability proportional to ``(in_degree(v) + 1) **
+        source_skew``.  0 reproduces uniform wiring; ~1 gives out-degrees
+        skewed like the in-degrees and correlated with them, as in real
+        social graphs.  The correlation is what lets degree-descending
+        orders (VEBO's phase 1) pack the hottest source values into a few
+        cache lines — the mechanism behind the paper's Table V observation
+        that VEBO *reduces* edgemap cache misses.
+    """
+    if num_vertices <= 0:
+        raise InvalidGraphError("num_vertices must be positive")
+    if s < 0:
+        raise InvalidGraphError("Zipf exponent s must be >= 0")
+    if not 0.0 <= degree_locality < 1.0:
+        raise InvalidGraphError("degree_locality must be in [0, 1)")
+    if not 0.0 <= neighbor_locality < 1.0:
+        raise InvalidGraphError("neighbor_locality must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    big_n = int(max_degree) + 1 if max_degree is not None else max(2, num_vertices // 8)
+    ranks = np.arange(1, big_n + 1, dtype=np.float64)
+    pmf = ranks ** (-float(s))
+    pmf /= pmf.sum()
+
+    if zero_in_fraction is None:
+        degs = rng.choice(big_n, size=num_vertices, p=pmf)  # degree = rank - 1
+    else:
+        if not 0.0 <= zero_in_fraction < 1.0:
+            raise InvalidGraphError("zero_in_fraction must be in [0, 1)")
+        degs = np.zeros(num_vertices, dtype=np.int64)
+        nonzero = int(round(num_vertices * (1.0 - zero_in_fraction)))
+        if nonzero > 0:
+            cond = pmf[1:].copy()
+            if cond.sum() <= 0:
+                raise InvalidGraphError("Zipf pmf has no nonzero-degree mass")
+            cond /= cond.sum()
+            degs[:nonzero] = rng.choice(np.arange(1, big_n), size=nonzero, p=cond)
+        rng.shuffle(degs)
+
+    if degree_locality > 0.0:
+        # Sort degrees descending, then perturb positions with noise whose
+        # magnitude shrinks as locality -> 1.  ID 0 ends up hub-like, high
+        # IDs low-degree, with local mixing — a crawl-order caricature.
+        degs = np.sort(degs)[::-1]
+        noise_scale = (1.0 - degree_locality) * num_vertices
+        keys = np.arange(num_vertices, dtype=np.float64) + rng.normal(
+            0.0, noise_scale, num_vertices
+        )
+        degs = degs[np.argsort(np.argsort(keys))]
+
+    degs = degs.astype(INDEX_DTYPE)
+    total = int(degs.sum())
+    dst = np.repeat(np.arange(num_vertices, dtype=INDEX_DTYPE), degs)
+    if source_skew > 0.0 and total:
+        weights = (degs.astype(np.float64) + 1.0) ** float(source_skew)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        src = np.searchsorted(
+            cdf, rng.random(total), side="right"
+        ).astype(INDEX_DTYPE)
+        np.clip(src, 0, num_vertices - 1, out=src)
+    else:
+        src = rng.integers(0, num_vertices, size=total, dtype=INDEX_DTYPE)
+    if neighbor_locality > 0.0 and total:
+        near = rng.random(total) < neighbor_locality
+        spread = max(2.0, num_vertices / 200.0)
+        offsets = np.round(rng.laplace(0.0, spread, size=int(near.sum()))).astype(
+            INDEX_DTYPE
+        )
+        local_src = np.clip(dst[near] + offsets, 0, num_vertices - 1)
+        src[near] = local_src
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    label = name or f"zipf(n={num_vertices},s={s:g})"
+    return Graph.from_edges(src, dst, num_vertices, name=label)
+
+
+# ----------------------------------------------------------------------
+# RMAT (Chakrabarti et al.) — the generator behind RMAT27 in Table I
+# ----------------------------------------------------------------------
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 10,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = True,
+    seed: int = 0,
+    name: str | None = None,
+) -> Graph:
+    """Recursive-matrix (R-MAT) graph with ``2**scale`` vertices.
+
+    Edges are placed by recursively descending a 2x2 partition of the
+    adjacency matrix with probabilities ``(a, b, c, d)``; the defaults are
+    the Graph500/PBBS parameters that produce heavy skew and a large
+    zero-in-degree population, matching the paper's RMAT27 row (69 % zero
+    in-degree).  Vectorized: all ``scale`` bits of every edge are drawn in
+    one pass, no per-edge Python loop.
+    """
+    if scale <= 0 or scale > 28:
+        raise InvalidGraphError("scale must be in 1..28")
+    d = 1.0 - (a + b + c)
+    if d < 0 or min(a, b, c) < 0:
+        raise InvalidGraphError("RMAT probabilities must be non-negative and sum <= 1")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=INDEX_DTYPE)
+    dst = np.zeros(m, dtype=INDEX_DTYPE)
+    # For each bit level draw which quadrant each edge descends into.
+    p_right = b + d  # probability that the dst bit is 1
+    p_bottom_given_right = d / (b + d) if (b + d) > 0 else 0.0
+    p_bottom_given_left = c / (a + c) if (a + c) > 0 else 0.0
+    for level in range(scale):
+        u = rng.random(m)
+        right = u < p_right
+        v = rng.random(m)
+        bottom = np.where(right, v < p_bottom_given_right, v < p_bottom_given_left)
+        src = (src << 1) | bottom.astype(INDEX_DTYPE)
+        dst = (dst << 1) | right.astype(INDEX_DTYPE)
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    label = name or f"rmat(scale={scale},ef={edge_factor})"
+    return Graph.from_edges(src, dst, n, name=label)
+
+
+# ----------------------------------------------------------------------
+# Erdős–Rényi — near-uniform degrees, a useful non-skewed control
+# ----------------------------------------------------------------------
+
+def erdos_renyi_graph(
+    num_vertices: int, avg_degree: float, directed: bool = True, seed: int = 0,
+    name: str | None = None,
+) -> Graph:
+    """G(n, m) random graph with ``m = n * avg_degree`` directed edges."""
+    if num_vertices <= 0:
+        raise InvalidGraphError("num_vertices must be positive")
+    if avg_degree < 0:
+        raise InvalidGraphError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    m = int(round(num_vertices * avg_degree))
+    src = rng.integers(0, num_vertices, size=m, dtype=INDEX_DTYPE)
+    dst = rng.integers(0, num_vertices, size=m, dtype=INDEX_DTYPE)
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    label = name or f"er(n={num_vertices},k={avg_degree:g})"
+    return Graph.from_edges(src, dst, num_vertices, name=label)
+
+
+# ----------------------------------------------------------------------
+# Road-network stand-in (USAroad in Table I: max degree 9, near-uniform)
+# ----------------------------------------------------------------------
+
+def road_grid_graph(
+    side: int, diagonal_fraction: float = 0.05, seed: int = 0, name: str | None = None
+) -> Graph:
+    """A ``side x side`` 4-connected grid with a sprinkling of diagonals.
+
+    Road networks have near-constant degree (USAroad's max degree is 9) and
+    *strong spatial locality*: consecutive vertex IDs (row-major here) are
+    geometric neighbours, so chunk partitions cut few edges.  VEBO destroys
+    this structure — exactly the Section V-B counter-example.  The diagonal
+    edges perturb degrees into the 2–8 range so the degree distribution is
+    narrow but not perfectly constant, like a real road graph.
+    """
+    if side < 2:
+        raise InvalidGraphError("side must be >= 2")
+    n = side * side
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    row, col = idx // side, idx % side
+    edges_src, edges_dst = [], []
+    right = col < side - 1
+    edges_src.append(idx[right]); edges_dst.append(idx[right] + 1)
+    down = row < side - 1
+    edges_src.append(idx[down]); edges_dst.append(idx[down] + side)
+    if diagonal_fraction > 0:
+        rng = np.random.default_rng(seed)
+        diag_ok = right & down
+        take = rng.random(int(diag_ok.sum())) < diagonal_fraction
+        cand = idx[diag_ok][take]
+        edges_src.append(cand); edges_dst.append(cand + side + 1)
+    src = np.concatenate(edges_src)
+    dst = np.concatenate(edges_dst)
+    # Symmetrize: road graphs are undirected.
+    src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    label = name or f"roadgrid({side}x{side})"
+    return Graph.from_edges(src, dst, n, name=label)
+
+
+# ----------------------------------------------------------------------
+# Pathological graphs for tests
+# ----------------------------------------------------------------------
+
+def star_graph(num_leaves: int, inward: bool = True) -> Graph:
+    """Hub vertex 0 with ``num_leaves`` spokes (all pointing at the hub if
+    ``inward``).  The worst case for edge-balanced chunking: one vertex owns
+    every edge."""
+    leaves = np.arange(1, num_leaves + 1, dtype=INDEX_DTYPE)
+    hub = np.zeros(num_leaves, dtype=INDEX_DTYPE)
+    src, dst = (leaves, hub) if inward else (hub, leaves)
+    return Graph.from_edges(src, dst, num_leaves + 1, name=f"star({num_leaves})")
+
+
+def chain_graph(num_vertices: int) -> Graph:
+    """Path ``0 -> 1 -> ... -> n-1``; every in-degree is 1 except vertex 0."""
+    if num_vertices < 1:
+        raise InvalidGraphError("num_vertices must be >= 1")
+    src = np.arange(num_vertices - 1, dtype=INDEX_DTYPE)
+    return Graph.from_edges(src, src + 1, num_vertices, name=f"chain({num_vertices})")
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """All ordered pairs ``(u, v)`` with ``u != v``.  Perfectly uniform."""
+    if num_vertices < 1:
+        raise InvalidGraphError("num_vertices must be >= 1")
+    u, v = np.meshgrid(
+        np.arange(num_vertices, dtype=INDEX_DTYPE),
+        np.arange(num_vertices, dtype=INDEX_DTYPE),
+        indexing="ij",
+    )
+    mask = u != v
+    return Graph.from_edges(u[mask], v[mask], num_vertices, name=f"K{num_vertices}")
+
+
+# ----------------------------------------------------------------------
+# Structural transforms used by experiments
+# ----------------------------------------------------------------------
+
+def permute_vertices(graph: Graph, perm: np.ndarray, name: str | None = None) -> Graph:
+    """Relabel vertex ``v`` as ``perm[v]`` — an isomorphic copy.
+
+    This is the primitive behind both the random-permutation experiment
+    (Figure 5) and applying any vertex *ordering* (``perm = S`` from
+    Algorithm 2 maps old IDs to new sequence numbers).
+    """
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    n = graph.num_vertices
+    if perm.shape != (n,):
+        raise InvalidGraphError("permutation length must equal num_vertices")
+    check = np.zeros(n, dtype=bool)
+    check[perm] = True
+    if not check.all():
+        raise InvalidGraphError("perm is not a permutation of 0..n-1")
+    src, dst = graph.edges()
+    return Graph.from_edges(
+        perm[src], perm[dst], n, name=name or f"{graph.name}/permuted"
+    )
+
+
+def symmetrize(graph: Graph, name: str | None = None) -> Graph:
+    """Union of the graph with its transpose (undirected closure)."""
+    src, dst = graph.edges()
+    return Graph.from_edges(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        graph.num_vertices,
+        name=name or f"{graph.name}/sym",
+    )

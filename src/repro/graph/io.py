@@ -1,0 +1,160 @@
+"""Graph file input/output.
+
+Two interchange formats are supported:
+
+* **Ligra adjacency text format** — the format the paper's artifact uses
+  (``AdjacencyGraph`` header, then ``n``, ``m``, ``n`` offsets and ``m``
+  adjacency entries, one per line).  ``WeightedAdjacencyGraph`` adds ``m``
+  trailing weights; we parse and expose them but the core pipeline is
+  unweighted.
+* **Edge-list text** — one ``src dst`` pair per line, ``#`` comments
+  (SNAP's format for Orkut/LiveJournal/Friendster downloads).
+
+A compact **binary** format (npz) is provided for fast round-trips in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRMatrix, Graph, INDEX_DTYPE
+
+__all__ = [
+    "write_adjacency_graph",
+    "read_adjacency_graph",
+    "write_edge_list",
+    "read_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+_ADJ_HEADER = "AdjacencyGraph"
+_WADJ_HEADER = "WeightedAdjacencyGraph"
+
+
+def write_adjacency_graph(graph: Graph, path: str | os.PathLike) -> None:
+    """Serialize the CSR (out-edge) view in Ligra adjacency text format."""
+    csr = graph.csr
+    lines = [_ADJ_HEADER, str(csr.num_vertices), str(csr.num_edges)]
+    lines.extend(str(int(x)) for x in csr.offsets[:-1])
+    lines.extend(str(int(x)) for x in csr.adj)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_adjacency_graph(path: str | os.PathLike, name: str | None = None) -> Graph:
+    """Parse a Ligra ``AdjacencyGraph``/``WeightedAdjacencyGraph`` file."""
+    text = Path(path).read_text(encoding="ascii")
+    tokens = text.split()
+    if not tokens:
+        raise GraphFormatError(f"{path}: empty file")
+    header = tokens[0]
+    if header not in (_ADJ_HEADER, _WADJ_HEADER):
+        raise GraphFormatError(f"{path}: unknown header {header!r}")
+    body = tokens[1:]
+    if len(body) < 2:
+        raise GraphFormatError(f"{path}: missing vertex/edge counts")
+    try:
+        n, m = int(body[0]), int(body[1])
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer counts") from exc
+    if n < 0 or m < 0:
+        raise GraphFormatError(f"{path}: negative counts")
+    expected = 2 + n + m + (m if header == _WADJ_HEADER else 0)
+    if len(body) != expected:
+        raise GraphFormatError(
+            f"{path}: expected {expected} numbers after the header, got {len(body)}"
+        )
+    try:
+        numbers = np.array(body[2 : 2 + n + m], dtype=INDEX_DTYPE)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer entries") from exc
+    starts = numbers[:n]
+    adj = numbers[n : n + m]
+    offsets = np.empty(n + 1, dtype=INDEX_DTYPE)
+    offsets[:n] = starts
+    offsets[n] = m
+    if n and starts[0] != 0:
+        raise GraphFormatError(f"{path}: first offset must be 0")
+    if np.any(np.diff(offsets) < 0):
+        raise GraphFormatError(f"{path}: offsets must be non-decreasing")
+    if adj.size and (adj.min() < 0 or adj.max() >= n):
+        raise GraphFormatError(f"{path}: adjacency entry out of range")
+    csr = CSRMatrix(offsets=offsets, adj=adj)
+    src, dst = csr.to_pairs()
+    return Graph.from_edges(src, dst, n, name=name or Path(path).stem)
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike, comment: str | None = None) -> None:
+    """Write a SNAP-style ``src<TAB>dst`` edge list."""
+    src, dst = graph.edges()
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"# {line}\n")
+    buf.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
+    np.savetxt(buf, np.column_stack([src, dst]), fmt="%d", delimiter="\t")
+    Path(path).write_text(buf.getvalue(), encoding="ascii")
+
+
+def read_edge_list(
+    path: str | os.PathLike, num_vertices: int | None = None, name: str | None = None
+) -> Graph:
+    """Parse a SNAP-style edge list (``#`` comments ignored).
+
+    The node count is taken from a ``# Nodes: <n>`` comment when present,
+    else from ``num_vertices``, else inferred from the largest endpoint.
+    """
+    n_hint = num_vertices
+    rows = []
+    for lineno, line in enumerate(Path(path).read_text(encoding="ascii").splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if "Nodes:" in stripped and n_hint is None:
+                try:
+                    n_hint = int(stripped.split("Nodes:")[1].split()[0])
+                except (ValueError, IndexError):
+                    pass
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"{path}:{lineno}: expected 'src dst'")
+        try:
+            rows.append((int(parts[0]), int(parts[1])))
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}:{lineno}: non-integer endpoint") from exc
+    if rows:
+        arr = np.asarray(rows, dtype=INDEX_DTYPE)
+        src, dst = arr[:, 0], arr[:, 1]
+    else:
+        src = dst = np.empty(0, dtype=INDEX_DTYPE)
+    return Graph.from_edges(src, dst, n_hint, name=name or Path(path).stem)
+
+
+def save_npz(graph: Graph, path: str | os.PathLike) -> None:
+    """Save a graph to a compressed npz archive (CSR view only)."""
+    np.savez_compressed(
+        path,
+        offsets=graph.csr.offsets,
+        adj=graph.csr.adj,
+        name=np.array(graph.name),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> Graph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            csr = CSRMatrix(offsets=data["offsets"], adj=data["adj"])
+            name = str(data["name"]) if "name" in data else Path(path).stem
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing array {exc}") from exc
+    src, dst = csr.to_pairs()
+    return Graph.from_edges(src, dst, csr.num_vertices, name=name)

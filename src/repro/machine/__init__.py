@@ -1,0 +1,53 @@
+"""Machine model: cost model, schedulers, NUMA, cache/TLB/branch simulators."""
+
+from repro.machine.numa import NUMATopology, PAPER_MACHINE
+from repro.machine.cost import CostModel, DEFAULT_COST_MODEL, PartitionWork
+from repro.machine.schedule import (
+    ScheduleResult,
+    cilk_recursive_schedule,
+    greedy_dynamic_schedule,
+    hierarchical_numa_schedule,
+    static_block_schedule,
+)
+from repro.machine.cache import (
+    CacheConfig,
+    CacheSimulator,
+    CacheStats,
+    LLC_CONFIG,
+    TLB_CONFIG,
+)
+from repro.machine.branch import BranchStats, simulate_degree_loop
+from repro.machine.locality import (
+    StreamLocality,
+    line_hit_fraction,
+    measure_stream,
+    sequential_fraction,
+)
+from repro.machine.counters import InstructionModel, ThreadCounters, mpki_table
+
+__all__ = [
+    "NUMATopology",
+    "PAPER_MACHINE",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "PartitionWork",
+    "ScheduleResult",
+    "cilk_recursive_schedule",
+    "greedy_dynamic_schedule",
+    "hierarchical_numa_schedule",
+    "static_block_schedule",
+    "CacheConfig",
+    "CacheSimulator",
+    "CacheStats",
+    "LLC_CONFIG",
+    "TLB_CONFIG",
+    "BranchStats",
+    "simulate_degree_loop",
+    "StreamLocality",
+    "line_hit_fraction",
+    "measure_stream",
+    "sequential_fraction",
+    "InstructionModel",
+    "ThreadCounters",
+    "mpki_table",
+]

@@ -1,0 +1,59 @@
+"""Loop-termination branch predictor model.
+
+Section V-E attributes part of VEBO's speedup to branch prediction: CSR and
+CSC traversal iterates over each vertex's incident edges, and the inner
+loop's termination branch has a trip count equal to the vertex's degree.
+After VEBO, consecutive vertices have (nearly) identical degrees, so a loop
+predictor that replays the previous trip count predicts almost perfectly;
+in the original order, trip counts jump around and the exit mispredicts.
+
+The model is a per-loop *trip-count predictor* (as in modern cores' loop
+buffers): it predicts each vertex's inner-loop trip count to equal the
+previous vertex's, and charges one misprediction whenever the prediction is
+wrong, plus one for the final iteration of very long loops being predicted
+taken (negligible, ignored).  Fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BranchStats", "simulate_degree_loop"]
+
+
+@dataclass(frozen=True)
+class BranchStats:
+    """Branch counters for one traversal pass."""
+
+    branches: int          # total inner-loop branches executed (= edges + exits)
+    mispredictions: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        return 1000.0 * self.mispredictions / instructions if instructions else 0.0
+
+
+def simulate_degree_loop(degrees: np.ndarray) -> BranchStats:
+    """Mispredictions of the edge-loop exit branch over a vertex sequence.
+
+    ``degrees`` is the per-vertex trip-count sequence in traversal order.
+    The predictor replays the previous vertex's trip count; a vertex whose
+    degree differs from its predecessor's mispredicts once (the exit fires
+    earlier or later than predicted).  The first vertex always mispredicts.
+    Zero-trip loops (degree 0) are compiled as a guard branch with the same
+    replay behaviour, so they participate identically.
+    """
+    degs = np.asarray(degrees, dtype=np.int64)
+    if degs.size == 0:
+        return BranchStats(branches=0, mispredictions=0)
+    # One branch per loop iteration plus the exit check.
+    branches = int(degs.sum() + degs.size)
+    changed = np.empty(degs.size, dtype=bool)
+    changed[0] = True
+    changed[1:] = degs[1:] != degs[:-1]
+    return BranchStats(branches=branches, mispredictions=int(changed.sum()))

@@ -1,0 +1,72 @@
+"""NUMA topology description for the machine model.
+
+The paper's testbed is a 4-socket Intel Xeon E7-4860 v2 with 12 cores per
+socket (48 threads, hyperthreading disabled).  Polymer and GraphGrind bind
+partitions to sockets and allocate each partition's data on its socket, so
+accesses from a thread to another socket's partition pay a remote-memory
+penalty — the "LLC_Remote" events of Figure 4 and Table V.
+
+The model is deliberately small: sockets, threads per socket, and the home
+node of each partition (block distribution, as both systems use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["NUMATopology", "PAPER_MACHINE"]
+
+
+@dataclass(frozen=True)
+class NUMATopology:
+    """Sockets x threads-per-socket machine shape."""
+
+    num_sockets: int
+    threads_per_socket: int
+
+    def __post_init__(self) -> None:
+        if self.num_sockets <= 0 or self.threads_per_socket <= 0:
+            raise SimulationError("topology dimensions must be positive")
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_sockets * self.threads_per_socket
+
+    def socket_of_thread(self, thread: int | np.ndarray) -> int | np.ndarray:
+        """Threads are numbered socket-major (thread t lives on socket
+        t // threads_per_socket)."""
+        return np.asarray(thread) // self.threads_per_socket if isinstance(
+            thread, np.ndarray
+        ) else thread // self.threads_per_socket
+
+    def partition_home_sockets(self, num_partitions: int) -> np.ndarray:
+        """Home socket of each partition under a block distribution.
+
+        GraphGrind maps partition p of P to socket ``p * S // P``; Polymer
+        uses P = S so the map is the identity.
+        """
+        if num_partitions <= 0:
+            raise SimulationError("num_partitions must be positive")
+        p = np.arange(num_partitions, dtype=np.int64)
+        return (p * self.num_sockets) // num_partitions
+
+    def thread_blocks(self, num_items: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` ranges assigning ``num_items`` items to
+        threads as evenly as possible (static block schedule)."""
+        t = self.num_threads
+        base, extra = divmod(num_items, t)
+        blocks = []
+        lo = 0
+        for i in range(t):
+            hi = lo + base + (1 if i < extra else 0)
+            blocks.append((lo, hi))
+            lo = hi
+        return blocks
+
+
+#: The paper's evaluation machine (Section IV).
+PAPER_MACHINE = NUMATopology(num_sockets=4, threads_per_socket=12)

@@ -1,0 +1,5 @@
+"""Reporting helpers: tables, speedups, geometric means."""
+
+from repro.metrics.tables import format_matrix, format_table, geometric_mean, speedups
+
+__all__ = ["format_matrix", "format_table", "geometric_mean", "speedups"]

@@ -1,0 +1,79 @@
+"""Plain-text table formatting and speedup statistics for experiment output.
+
+The benchmark harness prints tables shaped like the paper's (rows =
+graph x algorithm, columns = orderings or frameworks).  Formatting is
+dependency-free text so results render in pytest output and logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "geometric_mean", "speedups", "format_matrix"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 0.001:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    table = [[cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), max((len(row[i]) for row in table), default=0))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in table)
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    row_label: str = "row",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render a nested mapping {row: {col: value}} as a table."""
+    rows = []
+    columns: list[str] = []
+    for r, cols in matrix.items():
+        for c in cols:
+            if c not in columns:
+                columns.append(c)
+    for r, cols in matrix.items():
+        row: dict[str, object] = {row_label: r}
+        for c in columns:
+            v = cols.get(c)
+            row[c] = float_fmt.format(v) if isinstance(v, float) else (v if v is not None else "")
+        rows.append(row)
+    return format_table(rows, [row_label, *columns])
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's 'average speedup' convention)."""
+    vals = [v for v in values if v > 0 and math.isfinite(v)]
+    if not vals:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def speedups(baseline: Mapping[str, float], improved: Mapping[str, float]) -> dict[str, float]:
+    """Per-key ``baseline / improved`` ratios over the shared keys."""
+    out: dict[str, float] = {}
+    for k in baseline:
+        if k in improved and improved[k] > 0:
+            out[k] = baseline[k] / improved[k]
+    return out

@@ -1,0 +1,48 @@
+"""Vertex ordering algorithms: VEBO and its baselines.
+
+Importing this package populates :data:`repro.ordering.ORDERING_REGISTRY`
+with every built-in algorithm: ``original``, ``random``, ``degree-sort``,
+``vebo``, ``rcm``, ``gorder``, ``slashburn``, ``ldg`` and ``fennel``.
+"""
+
+from repro.ordering.base import (
+    ORDERING_REGISTRY,
+    OrderingResult,
+    apply_ordering,
+    get_ordering,
+    identity_order,
+    register_ordering,
+    validate_permutation,
+)
+from repro.ordering.vebo import vebo, vebo_assignment, vebo_order
+from repro.ordering.simple import original, random_permutation, sort_by_degree
+from repro.ordering.rcm import rcm, rcm_perm
+from repro.ordering.gorder import gorder, gorder_perm
+from repro.ordering.slashburn import slashburn, slashburn_perm
+from repro.ordering.streaming import fennel, fennel_perm, ldg, ldg_perm
+
+__all__ = [
+    "ORDERING_REGISTRY",
+    "OrderingResult",
+    "apply_ordering",
+    "get_ordering",
+    "identity_order",
+    "register_ordering",
+    "validate_permutation",
+    "vebo",
+    "vebo_assignment",
+    "vebo_order",
+    "original",
+    "random_permutation",
+    "sort_by_degree",
+    "rcm",
+    "rcm_perm",
+    "gorder",
+    "gorder_perm",
+    "slashburn",
+    "slashburn_perm",
+    "ldg",
+    "ldg_perm",
+    "fennel",
+    "fennel_perm",
+]

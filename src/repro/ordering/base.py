@@ -1,0 +1,170 @@
+"""Common machinery for vertex orderings.
+
+A *vertex ordering* is a permutation ``S`` with ``S[v]`` = the new sequence
+number of old vertex ``v`` (the paper's Algorithm 2 output).  Applying an
+ordering produces an isomorphic graph whose structure is unchanged but
+whose vertex IDs — and therefore whose chunk partitions, memory layout and
+loop schedules — differ.
+
+Every ordering algorithm in this package returns an :class:`OrderingResult`
+so experiments can report the reordering *cost* (Table VI) uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import INDEX_DTYPE, Graph
+from repro.graph.generators import permute_vertices
+
+__all__ = [
+    "OrderingResult",
+    "VertexOrdering",
+    "validate_permutation",
+    "apply_ordering",
+    "identity_order",
+    "timed_ordering",
+    "ORDERING_REGISTRY",
+    "register_ordering",
+    "get_ordering",
+]
+
+
+@dataclass(frozen=True)
+class OrderingResult:
+    """The output of an ordering algorithm.
+
+    Attributes
+    ----------
+    perm:
+        ``int64[n]`` mapping old vertex id -> new sequence number.
+    algorithm:
+        Registry name of the producing algorithm.
+    seconds:
+        Wall-clock time spent computing the ordering (Table VI column).
+    meta:
+        Algorithm-specific diagnostics (e.g. VEBO's per-partition counts).
+    """
+
+    perm: np.ndarray
+    algorithm: str
+    seconds: float = 0.0
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        perm = validate_permutation(self.perm)
+        object.__setattr__(self, "perm", perm)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.perm.size)
+
+    def inverse(self) -> np.ndarray:
+        """``inv[s]`` = old id of the vertex with new sequence number ``s``."""
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(self.perm.size, dtype=INDEX_DTYPE)
+        return inv
+
+    def compose(self, then: "OrderingResult") -> "OrderingResult":
+        """The ordering equivalent to applying ``self`` then ``then``.
+
+        ``then.perm`` is defined over the *renumbered* ids, so the combined
+        map is ``v -> then.perm[self.perm[v]]``.
+        """
+        if then.num_vertices != self.num_vertices:
+            raise OrderingError("cannot compose orderings of different sizes")
+        return OrderingResult(
+            perm=then.perm[self.perm],
+            algorithm=f"{self.algorithm}+{then.algorithm}",
+            seconds=self.seconds + then.seconds,
+        )
+
+
+class VertexOrdering(Protocol):
+    """Callable computing an ordering for a graph."""
+
+    def __call__(self, graph: Graph, **kwargs) -> OrderingResult: ...
+
+
+def validate_permutation(perm) -> np.ndarray:
+    """Check that ``perm`` is a permutation of ``0..n-1``; return int64 copy."""
+    perm = np.ascontiguousarray(perm, dtype=INDEX_DTYPE)
+    if perm.ndim != 1:
+        raise OrderingError(f"permutation must be 1-D, got shape {perm.shape}")
+    n = perm.size
+    seen = np.zeros(n, dtype=bool)
+    if n:
+        if perm.min() < 0 or perm.max() >= n:
+            raise OrderingError("permutation entries out of range")
+        seen[perm] = True
+        if not seen.all():
+            raise OrderingError("permutation has duplicate entries")
+    perm.setflags(write=False)
+    return perm
+
+
+def apply_ordering(graph: Graph, ordering: OrderingResult, name: str | None = None) -> Graph:
+    """Materialize the isomorphic reordered graph."""
+    if ordering.num_vertices != graph.num_vertices:
+        raise OrderingError(
+            f"ordering is over {ordering.num_vertices} vertices but graph has "
+            f"{graph.num_vertices}"
+        )
+    return permute_vertices(
+        graph, ordering.perm, name=name or f"{graph.name}/{ordering.algorithm}"
+    )
+
+
+def identity_order(graph: Graph) -> OrderingResult:
+    """The no-op ordering — the paper's "Original" column."""
+    return OrderingResult(
+        perm=np.arange(graph.num_vertices, dtype=INDEX_DTYPE),
+        algorithm="original",
+        seconds=0.0,
+    )
+
+
+def timed_ordering(fn: Callable[..., np.ndarray], algorithm: str):
+    """Wrap a permutation-returning function into an OrderingResult factory
+    that records wall-clock cost (the Table VI measurement)."""
+
+    def wrapper(graph: Graph, **kwargs) -> OrderingResult:
+        start = time.perf_counter()
+        out = fn(graph, **kwargs)
+        elapsed = time.perf_counter() - start
+        if isinstance(out, tuple):
+            perm, meta = out
+        else:
+            perm, meta = out, {}
+        return OrderingResult(perm=perm, algorithm=algorithm, seconds=elapsed, meta=meta)
+
+    wrapper.__name__ = f"{algorithm}_ordering"
+    wrapper.__doc__ = fn.__doc__
+    return wrapper
+
+
+#: name -> ordering factory; populated by the algorithm modules at import.
+ORDERING_REGISTRY: dict[str, VertexOrdering] = {}
+
+
+def register_ordering(name: str, factory: VertexOrdering) -> VertexOrdering:
+    """Register an ordering under ``name`` (used by experiment sweeps)."""
+    if name in ORDERING_REGISTRY:
+        raise OrderingError(f"ordering {name!r} already registered")
+    ORDERING_REGISTRY[name] = factory
+    return factory
+
+
+def get_ordering(name: str) -> VertexOrdering:
+    """Look up a registered ordering factory by name."""
+    try:
+        return ORDERING_REGISTRY[name]
+    except KeyError:
+        raise OrderingError(
+            f"unknown ordering {name!r}; registered: {sorted(ORDERING_REGISTRY)}"
+        ) from None

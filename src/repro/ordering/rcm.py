@@ -1,0 +1,147 @@
+"""Reverse Cuthill–McKee ordering (the paper's RCM baseline).
+
+RCM reduces the bandwidth of a sparse matrix: starting from a
+pseudo-peripheral vertex it performs a BFS, visiting each level's vertices
+in order of increasing degree, and finally reverses the visit sequence.
+Low bandwidth keeps a vertex's neighbours nearby in memory, which is why
+RCM serves as a *locality*-oriented baseline against VEBO's
+*balance*-oriented ordering.
+
+The implementation works on the symmetrized adjacency structure (RCM is
+defined for symmetric matrices; graph frameworks apply it to the
+undirected closure) and handles disconnected graphs by restarting from the
+minimum-degree unvisited vertex, as the classic algorithm prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRMatrix, INDEX_DTYPE, Graph
+from repro.ordering.base import register_ordering, timed_ordering
+
+__all__ = ["rcm_perm", "rcm", "pseudo_peripheral_vertex"]
+
+
+def _symmetric_csr(graph: Graph) -> CSRMatrix:
+    """Undirected closure as a CSR (union of out- and in-neighbours)."""
+    src, dst = graph.edges()
+    both_src = np.concatenate([src, dst])
+    both_dst = np.concatenate([dst, src])
+    return CSRMatrix.from_pairs(both_src, both_dst, graph.num_vertices)
+
+
+def _bfs_levels(csr: CSRMatrix, root: int, visited: np.ndarray) -> tuple[np.ndarray, int]:
+    """Level-synchronous BFS from ``root`` over unvisited vertices.
+
+    Returns ``(vertices_in_visit_order, eccentricity)``.  ``visited`` is
+    consulted but not modified.
+    """
+    n = csr.num_vertices
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.array([root], dtype=INDEX_DTYPE)
+    order = [frontier]
+    depth = 0
+    while frontier.size:
+        # Gather all neighbours of the frontier, then dedupe the unseen ones.
+        reps = np.diff(csr.offsets)[frontier]
+        neigh = np.concatenate(
+            [csr.adj[csr.offsets[v] : csr.offsets[v + 1]] for v in frontier]
+        ) if frontier.size else np.empty(0, dtype=INDEX_DTYPE)
+        if neigh.size == 0:
+            break
+        fresh = neigh[(level[neigh] < 0) & (~visited[neigh])]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        depth += 1
+        level[fresh] = depth
+        order.append(fresh)
+        frontier = fresh
+    return np.concatenate(order), depth
+
+
+def pseudo_peripheral_vertex(csr: CSRMatrix, start: int, visited: np.ndarray) -> int:
+    """George–Liu heuristic: repeatedly BFS from a minimum-degree vertex of
+    the deepest level until the eccentricity stops growing."""
+    degs = np.diff(csr.offsets)
+    root = start
+    last_depth = -1
+    for _ in range(csr.num_vertices):  # terminates; usually 2-4 rounds
+        _, depth = _bfs_levels(csr, root, visited)
+        if depth <= last_depth:
+            return root
+        last_depth = depth
+        candidates = _last_level(csr, root, visited)
+        root = int(candidates[np.argmin(degs[candidates])])
+    return root
+
+
+def _last_level(csr: CSRMatrix, root: int, visited: np.ndarray) -> np.ndarray:
+    """Vertices of the deepest BFS level from ``root``."""
+    n = csr.num_vertices
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.array([root], dtype=INDEX_DTYPE)
+    last = frontier
+    depth = 0
+    while frontier.size:
+        neigh = np.concatenate(
+            [csr.adj[csr.offsets[v] : csr.offsets[v + 1]] for v in frontier]
+        ) if frontier.size else np.empty(0, dtype=INDEX_DTYPE)
+        if neigh.size == 0:
+            break
+        fresh = np.unique(neigh[(level[neigh] < 0) & (~visited[neigh])])
+        if fresh.size == 0:
+            break
+        depth += 1
+        level[fresh] = depth
+        last = fresh
+        frontier = fresh
+    return last
+
+
+def rcm_perm(graph: Graph) -> np.ndarray:
+    """Compute the RCM permutation (old id -> new sequence number)."""
+    csr = _symmetric_csr(graph)
+    n = csr.num_vertices
+    degs = np.diff(csr.offsets)
+    visited = np.zeros(n, dtype=bool)
+    visit_order = np.empty(n, dtype=INDEX_DTYPE)
+    filled = 0
+
+    # Process components from min-degree seeds (classic CM restart rule).
+    seed_order = np.argsort(degs, kind="stable")
+    seed_ptr = 0
+    queue: deque[int] = deque()
+    while filled < n:
+        while seed_ptr < n and visited[seed_order[seed_ptr]]:
+            seed_ptr += 1
+        seed = int(seed_order[seed_ptr])
+        root = pseudo_peripheral_vertex(csr, seed, visited)
+        queue.append(root)
+        visited[root] = True
+        while queue:
+            v = queue.popleft()
+            visit_order[filled] = v
+            filled += 1
+            neigh = csr.neighbors(v)
+            fresh = neigh[~visited[neigh]]
+            if fresh.size:
+                fresh = np.unique(fresh)  # dedupe parallel edges
+                fresh = fresh[np.argsort(degs[fresh], kind="stable")]
+                visited[fresh] = True
+                queue.extend(int(u) for u in fresh)
+
+    # Reverse the Cuthill–McKee order.
+    visit_order = visit_order[::-1]
+    perm = np.empty(n, dtype=INDEX_DTYPE)
+    perm[visit_order] = np.arange(n, dtype=INDEX_DTYPE)
+    return perm
+
+
+rcm = timed_ordering(rcm_perm, algorithm="rcm")
+register_ordering("rcm", rcm)

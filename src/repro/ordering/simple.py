@@ -1,0 +1,54 @@
+"""Trivial orderings used as experiment baselines.
+
+* ``sort_by_degree`` — vertices in decreasing in-degree order.  Combined
+  with Algorithm 1 this is the "High-to-low" configuration of Figure 6a:
+  edge-balanced chunks whose early partitions hold only hubs and whose late
+  partitions hold only degree-1 vertices.
+* ``random_permutation`` — the Figure 5 baseline that destroys both load
+  balance and locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE, Graph
+from repro.ordering.base import (
+    OrderingResult,
+    identity_order,
+    register_ordering,
+    timed_ordering,
+)
+from repro.ordering.vebo import counting_sort_by_degree
+
+__all__ = ["sort_by_degree", "random_permutation", "original"]
+
+
+def _degree_sort_perm(graph: Graph, direction: str = "in") -> np.ndarray:
+    degs = graph.in_degrees() if direction == "in" else graph.out_degrees()
+    order = counting_sort_by_degree(degs)  # new-seq -> old-id
+    perm = np.empty_like(order)
+    perm[order] = np.arange(order.size, dtype=INDEX_DTYPE)
+    return perm
+
+
+sort_by_degree = timed_ordering(_degree_sort_perm, algorithm="degree-sort")
+register_ordering("degree-sort", sort_by_degree)
+
+
+def random_permutation(graph: Graph, seed: int = 0) -> OrderingResult:
+    """A uniformly random relabelling (Figure 5's 'Random')."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.num_vertices).astype(INDEX_DTYPE)
+    return OrderingResult(perm=perm, algorithm="random", seconds=0.0, meta={"seed": seed})
+
+
+register_ordering("random", random_permutation)
+
+
+def original(graph: Graph) -> OrderingResult:
+    """Identity — the paper's 'Original' column."""
+    return identity_order(graph)
+
+
+register_ordering("original", original)

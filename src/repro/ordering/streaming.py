@@ -1,0 +1,121 @@
+"""Streaming partitioners recast as orderings (LDG and Fennel baselines).
+
+The related-work section cites single-pass streaming partitioners: LDG
+(Stanton & Kliot, KDD'12) and Fennel (Tsourakakis et al., WSDM'14).  Both
+assign each arriving vertex to one of P partitions using a greedy score
+that trades neighbour co-location against partition fullness:
+
+* **LDG**:    score(p) = |N(v) ∩ V_p| * (1 - |V_p| / C)        (C = n/P slack)
+* **Fennel**: score(p) = |N(v) ∩ V_p| - alpha * gamma * |V_p|^(gamma-1)
+
+Because the rest of the pipeline consumes *orderings*, the partition
+assignment is converted to a permutation that lays each partition out
+contiguously (partition 0's vertices first, in arrival order, then
+partition 1's, ...), exactly how VEBO's phase 3 lays out its partitions.
+This lets Table III-style sweeps compare streaming partitioners under the
+same chunking machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import INDEX_DTYPE, Graph
+from repro.ordering.base import register_ordering, timed_ordering
+
+__all__ = ["ldg_perm", "fennel_perm", "ldg", "fennel", "assignment_to_order"]
+
+
+def assignment_to_order(assign: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Convert a partition assignment into a contiguous-layout permutation.
+
+    Vertices keep their relative (arrival) order inside each partition.
+    """
+    assign = np.asarray(assign, dtype=INDEX_DTYPE)
+    if assign.size and (assign.min() < 0 or assign.max() >= num_partitions):
+        raise OrderingError("partition assignment out of range")
+    counts = np.bincount(assign, minlength=num_partitions)
+    starts = np.zeros(num_partitions + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=starts[1:])
+    order = np.argsort(assign, kind="stable")  # new-seq -> old-id
+    perm = np.empty(assign.size, dtype=INDEX_DTYPE)
+    perm[order] = np.arange(assign.size, dtype=INDEX_DTYPE)
+    return perm
+
+
+def _stream_assign(
+    graph: Graph,
+    num_partitions: int,
+    score_fn,
+    capacity_slack: float,
+) -> np.ndarray:
+    """Shared single-pass driver for LDG/Fennel.
+
+    Vertices arrive in original-id order.  ``score_fn(neigh_counts, sizes)``
+    returns the per-partition score array; argmax wins, ties to the lowest
+    partition id (numpy argmax semantics).
+    """
+    n = graph.num_vertices
+    p = int(num_partitions)
+    if p <= 0:
+        raise OrderingError("num_partitions must be positive")
+    capacity = capacity_slack * n / p if n else 1.0
+    sizes = np.zeros(p, dtype=np.float64)
+    assign = np.empty(n, dtype=INDEX_DTYPE)
+    part_of = np.full(n, -1, dtype=np.int64)
+    csr, csc = graph.csr, graph.csc
+    for v in range(n):
+        neigh = np.concatenate([csr.neighbors(v), csc.neighbors(v)])
+        neigh_counts = np.zeros(p, dtype=np.float64)
+        if neigh.size:
+            placed = part_of[neigh]
+            placed = placed[placed >= 0]
+            if placed.size:
+                neigh_counts += np.bincount(placed, minlength=p)
+        scores = score_fn(neigh_counts, sizes)
+        # Respect hard capacity: full partitions are disqualified.
+        scores = np.where(sizes < capacity, scores, -np.inf)
+        best = int(np.argmax(scores))
+        assign[v] = best
+        part_of[v] = best
+        sizes[best] += 1.0
+    return assign
+
+
+def ldg_perm(graph: Graph, num_partitions: int = 384, capacity_slack: float = 1.1) -> np.ndarray:
+    """Linear Deterministic Greedy streaming order."""
+    capacity = capacity_slack * graph.num_vertices / max(1, num_partitions)
+
+    def score(neigh_counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        return neigh_counts * (1.0 - sizes / capacity)
+
+    assign = _stream_assign(graph, num_partitions, score, capacity_slack)
+    return assignment_to_order(assign, num_partitions)
+
+
+def fennel_perm(
+    graph: Graph,
+    num_partitions: int = 384,
+    gamma: float = 1.5,
+    capacity_slack: float = 1.1,
+) -> np.ndarray:
+    """Fennel streaming order with the paper-default gamma = 1.5."""
+    n, m = graph.num_vertices, graph.num_edges
+    # Tsourakakis et al.'s alpha = m * P^(gamma-1) / n^gamma.
+    alpha = (
+        m * (num_partitions ** (gamma - 1.0)) / (n**gamma) if n else 1.0
+    )
+
+    def score(neigh_counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        return neigh_counts - alpha * gamma * np.power(np.maximum(sizes, 0.0), gamma - 1.0)
+
+    assign = _stream_assign(graph, num_partitions, score, capacity_slack)
+    return assignment_to_order(assign, num_partitions)
+
+
+ldg = timed_ordering(ldg_perm, algorithm="ldg")
+register_ordering("ldg", ldg)
+
+fennel = timed_ordering(fennel_perm, algorithm="fennel")
+register_ordering("fennel", fennel)

@@ -1,0 +1,33 @@
+"""Analytical model: Zipf degree distribution and theorem verification."""
+
+from repro.theory.zipf import (
+    alpha_from_s,
+    expected_mean_degree,
+    harmonic_number,
+    ideal_degree_sequence,
+    s_from_alpha,
+    sample_degrees,
+    zipf_pmf,
+)
+from repro.theory.bounds import (
+    TheoremReport,
+    check_balance_bounds,
+    check_lemma1_trajectory,
+    theorem1_preconditions,
+    theorem2_preconditions,
+)
+
+__all__ = [
+    "alpha_from_s",
+    "expected_mean_degree",
+    "harmonic_number",
+    "ideal_degree_sequence",
+    "s_from_alpha",
+    "sample_degrees",
+    "zipf_pmf",
+    "TheoremReport",
+    "check_balance_bounds",
+    "check_lemma1_trajectory",
+    "theorem1_preconditions",
+    "theorem2_preconditions",
+]

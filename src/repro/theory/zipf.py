@@ -1,0 +1,103 @@
+"""The Zipf in-degree model of Section III-A.
+
+The paper models in-degrees with a Zipf distribution: rank k (k = 1..N)
+has probability p_k = k^-s / H_{N,s} and maps to degree k - 1, so degree 0
+is the most frequent and degree N - 1 the rarest.  H_{N,s} is the
+generalized harmonic number.  The exponent s relates to the power-law
+exponent alpha of p_k ~ beta * k^-alpha via alpha = 1 + 1/s (footnote 1).
+
+These helpers provide the pmf, exact expectations, deterministic "ideal"
+degree sequences (used by the theorem tests, which need exact Zipf shape
+rather than sampling noise) and random samplers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TheoremPreconditionError
+
+__all__ = [
+    "harmonic_number",
+    "zipf_pmf",
+    "expected_mean_degree",
+    "ideal_degree_sequence",
+    "sample_degrees",
+    "alpha_from_s",
+    "s_from_alpha",
+]
+
+
+def harmonic_number(n: int, s: float) -> float:
+    """Generalized harmonic number ``H_{n,s} = sum_{i=1..n} i^-s``."""
+    if n < 1:
+        raise TheoremPreconditionError("harmonic number requires n >= 1")
+    i = np.arange(1, n + 1, dtype=np.float64)
+    return float(np.sum(i ** (-float(s))))
+
+
+def zipf_pmf(num_ranks: int, s: float) -> np.ndarray:
+    """``pmf[k - 1] = k^-s / H_{N,s}`` for ranks ``k = 1..N``.
+
+    Rank ``k`` corresponds to in-degree ``k - 1``.
+    """
+    if num_ranks < 1:
+        raise TheoremPreconditionError("num_ranks must be >= 1")
+    if s < 0:
+        raise TheoremPreconditionError("s must be >= 0")
+    k = np.arange(1, num_ranks + 1, dtype=np.float64)
+    pmf = k ** (-float(s))
+    pmf /= pmf.sum()
+    return pmf
+
+
+def expected_mean_degree(num_ranks: int, s: float) -> float:
+    """E[degree] = sum_k (k - 1) p_k under the Zipf model."""
+    pmf = zipf_pmf(num_ranks, s)
+    degrees = np.arange(num_ranks, dtype=np.float64)
+    return float(np.dot(degrees, pmf))
+
+
+def ideal_degree_sequence(num_vertices: int, num_ranks: int, s: float) -> np.ndarray:
+    """A deterministic degree sequence matching the Zipf shape exactly.
+
+    Each rank k receives ``round(n * p_k)`` vertices (largest-remainder
+    rounding so the total is exactly ``num_vertices``), every rank with
+    positive probability keeps at least the mass rounding grants it, and
+    the maximum degree N - 1 appears whenever its expected count rounds to
+    >= 1.  Returned sorted ascending.
+    """
+    pmf = zipf_pmf(num_ranks, s)
+    raw = pmf * num_vertices
+    counts = np.floor(raw).astype(np.int64)
+    deficit = num_vertices - int(counts.sum())
+    if deficit > 0:
+        # Largest remainders get the leftover vertices.
+        remainders = raw - counts
+        top = np.argsort(-remainders, kind="stable")[:deficit]
+        counts[top] += 1
+    degrees = np.repeat(np.arange(num_ranks, dtype=np.int64), counts)
+    return np.sort(degrees)
+
+
+def sample_degrees(
+    num_vertices: int, num_ranks: int, s: float, seed: int = 0
+) -> np.ndarray:
+    """Sample ``num_vertices`` in-degrees i.i.d. from the Zipf model."""
+    rng = np.random.default_rng(seed)
+    pmf = zipf_pmf(num_ranks, s)
+    return rng.choice(num_ranks, size=num_vertices, p=pmf).astype(np.int64)
+
+
+def alpha_from_s(s: float) -> float:
+    """Power-law exponent ``alpha = 1 + 1/s`` (paper footnote 1)."""
+    if s <= 0:
+        raise TheoremPreconditionError("alpha_from_s requires s > 0")
+    return 1.0 + 1.0 / s
+
+
+def s_from_alpha(alpha: float) -> float:
+    """Inverse of :func:`alpha_from_s`."""
+    if alpha <= 1.0:
+        raise TheoremPreconditionError("s_from_alpha requires alpha > 1")
+    return 1.0 / (alpha - 1.0)

@@ -1,0 +1,151 @@
+"""Edge-case and failure-injection tests for the algorithm suite:
+degenerate graphs (no edges, single vertex, disconnected, all self-loops),
+boundary partition counts and trace consistency."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    belief_propagation,
+    bellman_ford,
+    betweenness_centrality,
+    bfs,
+    connected_components,
+    pagerank,
+    pagerank_delta,
+    spmv,
+)
+from repro.graph import generators as gen
+from repro.graph.csr import Graph
+
+
+def edgeless(n=5):
+    return Graph.from_edges(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), n, name="edgeless"
+    )
+
+
+def self_loops(n=4):
+    v = np.arange(n, dtype=np.int64)
+    return Graph.from_edges(v, v, n, name="loops")
+
+
+class TestEdgelessGraph:
+    def test_pagerank_uniform(self):
+        res = pagerank(edgeless(), num_iterations=3, num_partitions=2)
+        # no links: every vertex holds only the teleport mass
+        assert np.allclose(res.values["rank"], (1 - 0.85) / 5)
+
+    def test_bfs_only_source(self):
+        res = bfs(edgeless(), source=2, num_partitions=2)
+        level = res.values["level"]
+        assert level[2] == 0
+        assert np.all(level[np.arange(5) != 2] == -1)
+
+    def test_cc_singletons(self):
+        res = connected_components(edgeless(), num_partitions=2)
+        assert np.array_equal(res.values["label"], np.arange(5))
+
+    def test_bellman_ford_unreachable(self):
+        res = bellman_ford(edgeless(), source=0, num_partitions=2)
+        assert res.values["dist"][0] == 0.0
+        assert np.all(np.isinf(res.values["dist"][1:]))
+
+    def test_spmv_zero(self):
+        res = spmv(edgeless(), num_partitions=2)
+        assert np.allclose(res.values["y"], 0.0)
+
+    def test_bc_zero(self):
+        res = betweenness_centrality(edgeless(), source=0, num_partitions=2)
+        assert np.allclose(res.values["bc"], 0.0)
+
+    def test_prd_converges_immediately(self):
+        res = pagerank_delta(edgeless(), num_partitions=2)
+        assert res.iterations <= 1
+
+    def test_bp_equals_prior_fixpoint(self):
+        res = belief_propagation(edgeless(), num_iterations=4, num_partitions=2)
+        assert np.all(np.isfinite(res.values["belief"]))
+
+
+class TestSingleVertex:
+    @pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+    def test_all_algorithms_run(self, algo):
+        g = Graph.from_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 1
+        )
+        kwargs = {"num_partitions": 1}
+        if algo in ("PR", "BP"):
+            kwargs["num_iterations"] = 2
+        if algo in ("BFS", "BC", "BF"):
+            kwargs["source"] = 0
+        res = ALGORITHMS[algo](g, **kwargs)
+        assert res.trace is not None
+
+
+class TestSelfLoops:
+    def test_bfs_ignores_loops_gracefully(self):
+        res = bfs(self_loops(), source=0, num_partitions=2)
+        assert res.values["level"][0] == 0
+        assert np.all(res.values["level"][1:] == -1)
+
+    def test_cc_loops_are_singletons(self):
+        res = connected_components(self_loops(), num_partitions=2)
+        assert np.array_equal(res.values["label"], np.arange(4))
+
+    def test_pagerank_self_loop_mass(self):
+        res = pagerank(self_loops(), num_iterations=5, num_partitions=2)
+        # each vertex only links to itself; ranks stay uniform
+        assert np.allclose(res.values["rank"], res.values["rank"][0])
+
+
+class TestDisconnected:
+    def test_bfs_stays_in_component(self):
+        # two disjoint chains 0->1->2 and 3->4->5
+        g = Graph.from_edges([0, 1, 3, 4], [1, 2, 4, 5], 6)
+        res = bfs(g, source=0, num_partitions=2)
+        assert list(res.values["level"][:3]) == [0, 1, 2]
+        assert np.all(res.values["level"][3:] == -1)
+
+    def test_cc_two_components(self):
+        g = Graph.from_edges([0, 1, 3, 4], [1, 2, 4, 5], 6)
+        res = connected_components(g, num_partitions=3)
+        labels = res.values["label"]
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == labels[5] == 3
+
+
+class TestPartitionCountBoundaries:
+    @pytest.mark.parametrize("p", [1, 2, 97])
+    def test_pagerank_invariant_to_partition_count(self, p, small_powerlaw):
+        """Partitioning is accounting-only: results must not depend on P."""
+        base = pagerank(small_powerlaw, num_iterations=4, num_partitions=1)
+        other = pagerank(small_powerlaw, num_iterations=4, num_partitions=p)
+        assert np.allclose(base.values["rank"], other.values["rank"])
+
+    @pytest.mark.parametrize("p", [1, 3, 41])
+    def test_bfs_invariant_to_partition_count(self, p, small_powerlaw):
+        a = bfs(small_powerlaw, source=0, num_partitions=1)
+        b = bfs(small_powerlaw, source=0, num_partitions=p)
+        assert np.array_equal(a.values["level"], b.values["level"])
+
+
+class TestTraceConsistency:
+    def test_edges_in_trace_bounded_by_graph(self, small_powerlaw):
+        res = pagerank(small_powerlaw, num_iterations=2, num_partitions=8)
+        for rec in res.trace.edgemap_records():
+            assert rec.total_edges() <= small_powerlaw.num_edges
+
+    def test_trace_partition_arrays_match_p(self, small_powerlaw):
+        res = bfs(small_powerlaw, source=0, num_partitions=11)
+        for rec in res.trace.records:
+            assert rec.part_edges.shape == (11,)
+            assert rec.part_dsts.shape == (11,)
+            assert rec.part_srcs.shape == (11,)
+
+    def test_bfs_processes_each_reachable_edge_once_push(self, small_powerlaw):
+        res = bfs(small_powerlaw, source=0, num_partitions=4, direction="push")
+        reached = res.values["level"] >= 0
+        expected = int(small_powerlaw.out_degrees()[reached].sum())
+        assert res.trace.total_edges() == expected

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph import generators as gen
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The 6-vertex example of the paper's Figure 3.
+
+    Edges read off the figure (in-degree column: v0:1, v1:2, v2:2, v3:2,
+    v4:4, v5:3 — total 14 edges).
+    """
+    edges = [
+        (1, 0),
+        (0, 1), (2, 1),
+        (1, 2), (3, 2),
+        (4, 3), (5, 3),
+        (0, 4), (2, 4), (3, 4), (5, 4),
+        (1, 5), (2, 5), (4, 5),
+    ]
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return Graph.from_edges(src, dst, 6, name="fig3")
+
+
+@pytest.fixture
+def small_powerlaw() -> Graph:
+    return gen.zipf_powerlaw_graph(400, s=1.1, max_degree=40, seed=3, name="smallpl")
+
+
+@pytest.fixture
+def small_social() -> Graph:
+    """A locality-rich small social-network stand-in."""
+    return gen.zipf_powerlaw_graph(
+        500, s=1.2, max_degree=30, zero_in_fraction=0.15,
+        degree_locality=0.5, neighbor_locality=0.4, source_skew=0.8,
+        seed=11, name="smallsocial",
+    )
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    return gen.road_grid_graph(12, diagonal_fraction=0.1, seed=5)
+
+
+@pytest.fixture
+def tiny_chain() -> Graph:
+    return gen.chain_graph(8)

@@ -1,0 +1,95 @@
+"""Unit tests for Hilbert-curve and other edge orders."""
+
+import numpy as np
+import pytest
+
+from repro.edgeorder import (
+    EDGE_ORDERS,
+    hilbert_d2xy,
+    hilbert_index,
+    hilbert_order_edges,
+    order_edges,
+)
+from repro.graph.coo import COOEdges
+
+
+class TestHilbertIndex:
+    def test_bijection_small(self):
+        order = 4
+        side = 1 << order
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        d = hilbert_index(xs.ravel(), ys.ravel(), order)
+        # all distances distinct and covering 0..side^2-1
+        assert sorted(d.tolist()) == list(range(side * side))
+
+    def test_inverse(self):
+        order = 5
+        d = np.arange(1 << (2 * order))
+        x, y = hilbert_d2xy(d, order)
+        d2 = hilbert_index(x, y, order)
+        assert np.array_equal(d, d2)
+
+    def test_adjacent_distances_are_neighbors(self):
+        """Consecutive curve positions differ by exactly one grid step —
+        the locality property that makes the order useful."""
+        order = 4
+        d = np.arange(1 << (2 * order))
+        x, y = hilbert_d2xy(d, order)
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.array([16]), np.array([0]), 4)
+        with pytest.raises(ValueError):
+            hilbert_index(np.array([0]), np.array([0]), 0)
+
+
+class TestHilbertEdges:
+    def test_preserves_edge_multiset(self, small_powerlaw):
+        coo = COOEdges.from_graph(small_powerlaw)
+        h = hilbert_order_edges(coo)
+        assert h.order_name == "hilbert"
+        assert sorted(zip(h.src.tolist(), h.dst.tolist())) == sorted(
+            zip(coo.src.tolist(), coo.dst.tolist())
+        )
+
+    def test_improves_joint_locality_vs_random(self, small_powerlaw):
+        from repro.machine.locality import measure_stream
+
+        coo = COOEdges.from_graph(small_powerlaw)
+        rng = np.random.default_rng(0)
+        rand = coo.permuted(rng.permutation(coo.num_edges), "random")
+        h = hilbert_order_edges(coo)
+        win = 64
+        h_src = measure_stream(h.src, window=win).line_hit_fraction
+        r_src = measure_stream(rand.src, window=win).line_hit_fraction
+        assert h_src > r_src
+
+    def test_empty_edges(self):
+        coo = COOEdges(
+            src=np.empty(0, np.int64), dst=np.empty(0, np.int64), num_vertices=4
+        )
+        h = hilbert_order_edges(coo)
+        assert h.num_edges == 0
+
+
+class TestOrderEdges:
+    @pytest.mark.parametrize("order", sorted(EDGE_ORDERS))
+    def test_all_orders_preserve_edges(self, small_grid, order):
+        res = order_edges(small_grid, order)
+        assert res.coo.num_edges == small_grid.num_edges
+        assert res.seconds >= 0.0
+        assert res.order == order
+
+    def test_csr_order_sorted_by_source(self, small_grid):
+        res = order_edges(small_grid, "csr")
+        assert np.all(np.diff(res.coo.src) >= 0)
+
+    def test_csc_order_sorted_by_destination(self, small_grid):
+        res = order_edges(small_grid, "csc")
+        assert np.all(np.diff(res.coo.dst) >= 0)
+
+    def test_unknown_order_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            order_edges(small_grid, "diagonal")

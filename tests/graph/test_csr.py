@@ -1,0 +1,136 @@
+"""Unit tests for CSR/CSC graph structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph.csr import CSRMatrix, Graph
+
+
+class TestCSRMatrix:
+    def test_from_pairs_basic(self):
+        csr = CSRMatrix.from_pairs(np.array([0, 0, 1]), np.array([1, 2, 2]), 3)
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 3
+        assert list(csr.degrees()) == [2, 1, 0]
+        assert list(csr.neighbors(0)) == [1, 2]
+        assert list(csr.neighbors(1)) == [2]
+        assert list(csr.neighbors(2)) == []
+
+    def test_from_pairs_canonical_order(self):
+        # The same edge multiset in two input orders produces identical arrays.
+        a = CSRMatrix.from_pairs(np.array([1, 0, 0]), np.array([2, 2, 1]), 3)
+        b = CSRMatrix.from_pairs(np.array([0, 1, 0]), np.array([1, 2, 2]), 3)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.adj, b.adj)
+
+    def test_parallel_edges_kept(self):
+        csr = CSRMatrix.from_pairs(np.array([0, 0, 0]), np.array([1, 1, 1]), 2)
+        assert csr.num_edges == 3
+        assert list(csr.neighbors(0)) == [1, 1, 1]
+
+    def test_self_loops_allowed(self):
+        csr = CSRMatrix.from_pairs(np.array([0]), np.array([0]), 1)
+        assert list(csr.neighbors(0)) == [0]
+
+    def test_to_pairs_roundtrip(self):
+        src = np.array([0, 2, 1, 2])
+        dst = np.array([1, 0, 2, 1])
+        csr = CSRMatrix.from_pairs(src, dst, 3)
+        s2, d2 = csr.to_pairs()
+        again = CSRMatrix.from_pairs(s2, d2, 3)
+        assert csr == again
+
+    def test_empty_graph(self):
+        csr = CSRMatrix.from_pairs(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 4)
+        assert csr.num_vertices == 4
+        assert csr.num_edges == 0
+
+    def test_offsets_immutable(self):
+        csr = CSRMatrix.from_pairs(np.array([0]), np.array([1]), 2)
+        with pytest.raises(ValueError):
+            csr.offsets[0] = 5
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([1, 2]), adj=np.array([0]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([0, 2, 1]), adj=np.array([0, 0]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([0, 1]), adj=np.array([0, 0]))
+
+    def test_rejects_out_of_range_adjacency(self):
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([0, 1]), adj=np.array([7]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([0, 1]), adj=np.array([-1]))
+
+    def test_rejects_float_arrays(self):
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix(offsets=np.array([0.0, 1.0]), adj=np.array([0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix.from_pairs(np.array([0, 1]), np.array([1]), 2)
+
+    def test_slice_edges(self):
+        csr = CSRMatrix.from_pairs(np.array([0, 1, 1, 2]), np.array([1, 0, 2, 0]), 3)
+        assert list(csr.slice_edges(0, 2)) == [1, 0, 2]
+        assert list(csr.slice_edges(1, 3)) == [0, 2, 0]
+
+
+class TestGraph:
+    def test_from_edges_views_consistent(self):
+        g = Graph.from_edges([0, 0, 1, 2], [1, 2, 2, 0], 3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 4
+        assert list(g.out_degrees()) == [2, 1, 1]
+        assert list(g.in_degrees()) == [1, 1, 2]
+        assert list(g.in_neighbors(2)) == [0, 1]
+        assert list(g.out_neighbors(0)) == [1, 2]
+
+    def test_infers_num_vertices(self):
+        g = Graph.from_edges([0, 5], [5, 0])
+        assert g.num_vertices == 6
+
+    def test_isolated_trailing_vertices_explicit(self):
+        g = Graph.from_edges([0], [1], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.num_zero_in_degree() == 9
+
+    def test_reverse_is_transpose(self):
+        g = Graph.from_edges([0, 1], [1, 2], 3)
+        r = g.reverse()
+        assert list(r.out_neighbors(1)) == [0]
+        assert list(r.out_neighbors(2)) == [1]
+        # reversing twice is the identity
+        rr = r.reverse()
+        assert np.array_equal(rr.csr.adj, g.csr.adj)
+
+    def test_edges_csc_same_multiset(self):
+        g = Graph.from_edges([0, 1, 1, 2], [2, 0, 2, 1], 3)
+        s1, d1 = g.edges()
+        s2, d2 = g.edges_csc()
+        a = sorted(zip(s1.tolist(), d1.tolist()))
+        b = sorted(zip(s2.tolist(), d2.tolist()))
+        assert a == b
+
+    def test_symmetry_detection(self):
+        sym = Graph.from_edges([0, 1], [1, 0], 2)
+        asym = Graph.from_edges([0], [1], 2)
+        assert sym.is_symmetric()
+        assert not asym.is_symmetric()
+
+    def test_max_degrees(self, paper_graph):
+        assert paper_graph.max_in_degree() == 4
+        assert paper_graph.num_edges == 14
+
+    def test_mismatched_views_rejected(self):
+        a = CSRMatrix.from_pairs(np.array([0]), np.array([1]), 2)
+        b = CSRMatrix.from_pairs(np.array([0]), np.array([1]), 3)
+        with pytest.raises(InvalidGraphError):
+            Graph(csr=a, csc=b)
+
+    def test_zero_degree_counts(self, paper_graph):
+        # every vertex in Fig 3 has an in-edge
+        assert paper_graph.num_zero_in_degree() == 0

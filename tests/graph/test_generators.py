@@ -1,0 +1,173 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import generators as gen
+from repro.graph.properties import degree_histogram, estimate_zipf_s
+
+
+class TestZipfPowerlaw:
+    def test_deterministic(self):
+        a = gen.zipf_powerlaw_graph(200, s=1.0, seed=4)
+        b = gen.zipf_powerlaw_graph(200, s=1.0, seed=4)
+        assert np.array_equal(a.csr.adj, b.csr.adj)
+
+    def test_different_seeds_differ(self):
+        a = gen.zipf_powerlaw_graph(200, s=1.0, seed=4)
+        b = gen.zipf_powerlaw_graph(200, s=1.0, seed=5)
+        assert not np.array_equal(a.csr.adj, b.csr.adj)
+
+    def test_max_degree_respected(self):
+        g = gen.zipf_powerlaw_graph(500, s=0.9, max_degree=17, seed=1)
+        assert g.max_in_degree() <= 17
+
+    def test_zero_in_fraction(self):
+        g = gen.zipf_powerlaw_graph(1000, s=1.0, zero_in_fraction=0.4, seed=2)
+        frac = g.num_zero_in_degree() / g.num_vertices
+        assert abs(frac - 0.4) < 0.02
+
+    def test_undirected_symmetrizes(self):
+        g = gen.zipf_powerlaw_graph(200, s=1.0, directed=False, seed=3)
+        assert g.is_symmetric()
+
+    def test_skew_estimate_reasonable(self):
+        g = gen.zipf_powerlaw_graph(5000, s=1.0, max_degree=200, seed=6)
+        # rough consistency: a clearly skewed distribution is detected
+        assert estimate_zipf_s(g) > 0.3
+
+    def test_degree_locality_sorts_hubs_early(self):
+        g = gen.zipf_powerlaw_graph(
+            2000, s=1.1, max_degree=100, degree_locality=0.9, seed=7
+        )
+        degs = g.in_degrees()
+        first = degs[:200].mean()
+        last = degs[-200:].mean()
+        assert first > 2 * last
+
+    def test_neighbor_locality_shrinks_offsets(self):
+        loc = gen.zipf_powerlaw_graph(
+            2000, s=1.1, max_degree=50, neighbor_locality=0.9, seed=8
+        )
+        unloc = gen.zipf_powerlaw_graph(
+            2000, s=1.1, max_degree=50, neighbor_locality=0.0, seed=8
+        )
+        def med_offset(g):
+            s, d = g.edges()
+            return np.median(np.abs(s - d))
+        assert med_offset(loc) < med_offset(unloc) / 3
+
+    def test_source_skew_concentrates_out_degree(self):
+        g = gen.zipf_powerlaw_graph(2000, s=1.1, max_degree=50, source_skew=1.0, seed=9)
+        u = gen.zipf_powerlaw_graph(2000, s=1.1, max_degree=50, source_skew=0.0, seed=9)
+        assert g.max_out_degree() > 2 * u.max_out_degree()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidGraphError):
+            gen.zipf_powerlaw_graph(0)
+        with pytest.raises(InvalidGraphError):
+            gen.zipf_powerlaw_graph(10, s=-1.0)
+        with pytest.raises(InvalidGraphError):
+            gen.zipf_powerlaw_graph(10, zero_in_fraction=1.5)
+        with pytest.raises(InvalidGraphError):
+            gen.zipf_powerlaw_graph(10, degree_locality=1.0)
+        with pytest.raises(InvalidGraphError):
+            gen.zipf_powerlaw_graph(10, neighbor_locality=-0.1)
+
+
+class TestRMAT:
+    def test_shape(self):
+        g = gen.rmat_graph(8, edge_factor=4, seed=0)
+        assert g.num_vertices == 256
+        assert g.num_edges == 1024
+
+    def test_deterministic(self):
+        a = gen.rmat_graph(7, seed=2)
+        b = gen.rmat_graph(7, seed=2)
+        assert np.array_equal(a.csr.adj, b.csr.adj)
+
+    def test_skewed_default_params(self):
+        g = gen.rmat_graph(10, edge_factor=8, seed=1)
+        hist = degree_histogram(g)
+        # RMAT concentrates mass at degree 0 and has a long tail.
+        assert hist[0] > g.num_vertices * 0.2
+        assert g.max_in_degree() > 20
+
+    def test_undirected(self):
+        g = gen.rmat_graph(6, edge_factor=4, directed=False, seed=3)
+        assert g.is_symmetric()
+
+    def test_rejects_bad_scale_and_probs(self):
+        with pytest.raises(InvalidGraphError):
+            gen.rmat_graph(0)
+        with pytest.raises(InvalidGraphError):
+            gen.rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestRoadGrid:
+    def test_shape_and_degree(self):
+        g = gen.road_grid_graph(10, diagonal_fraction=0.0)
+        assert g.num_vertices == 100
+        assert g.is_symmetric()
+        # interior vertices of a 4-connected grid have degree 4
+        assert g.max_in_degree() <= 4
+
+    def test_diagonals_raise_degree(self):
+        g = gen.road_grid_graph(20, diagonal_fraction=1.0, seed=0)
+        assert g.max_in_degree() > 4
+        assert g.max_in_degree() <= 8
+
+    def test_rejects_small_side(self):
+        with pytest.raises(InvalidGraphError):
+            gen.road_grid_graph(1)
+
+
+class TestPathological:
+    def test_star_inward(self):
+        g = gen.star_graph(5, inward=True)
+        assert g.in_degrees()[0] == 5
+        assert g.num_zero_in_degree() == 5
+
+    def test_star_outward(self):
+        g = gen.star_graph(5, inward=False)
+        assert g.out_degrees()[0] == 5
+        assert g.in_degrees()[0] == 0
+
+    def test_chain(self):
+        g = gen.chain_graph(5)
+        assert g.num_edges == 4
+        assert list(g.in_degrees()) == [0, 1, 1, 1, 1]
+
+    def test_complete(self):
+        g = gen.complete_graph(4)
+        assert g.num_edges == 12
+        assert set(g.in_degrees().tolist()) == {3}
+
+
+class TestTransforms:
+    def test_permute_is_isomorphic(self, small_powerlaw):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_powerlaw.num_vertices)
+        g2 = gen.permute_vertices(small_powerlaw, perm)
+        assert g2.num_edges == small_powerlaw.num_edges
+        # degree multisets preserved
+        assert sorted(g2.in_degrees().tolist()) == sorted(
+            small_powerlaw.in_degrees().tolist()
+        )
+        # a concrete edge maps correctly
+        s, d = small_powerlaw.edges()
+        s2, d2 = g2.edges()
+        mapped = sorted(zip(perm[s].tolist(), perm[d].tolist()))
+        assert mapped == sorted(zip(s2.tolist(), d2.tolist()))
+
+    def test_permute_rejects_non_permutation(self, small_powerlaw):
+        bad = np.zeros(small_powerlaw.num_vertices, dtype=np.int64)
+        with pytest.raises(InvalidGraphError):
+            gen.permute_vertices(small_powerlaw, bad)
+
+    def test_symmetrize(self):
+        g = gen.chain_graph(4)
+        sym = gen.symmetrize(g)
+        assert sym.is_symmetric()
+        assert sym.num_edges == 2 * g.num_edges

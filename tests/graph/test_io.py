@@ -1,0 +1,114 @@
+"""Unit tests for graph file formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators as gen
+from repro.graph.io import (
+    load_npz,
+    read_adjacency_graph,
+    read_edge_list,
+    save_npz,
+    write_adjacency_graph,
+    write_edge_list,
+)
+
+
+class TestAdjacencyFormat:
+    def test_roundtrip(self, tmp_path, small_powerlaw):
+        path = tmp_path / "g.adj"
+        write_adjacency_graph(small_powerlaw, path)
+        g2 = read_adjacency_graph(path)
+        assert g2.num_vertices == small_powerlaw.num_vertices
+        assert g2.num_edges == small_powerlaw.num_edges
+        assert np.array_equal(g2.csr.adj, small_powerlaw.csr.adj)
+        assert np.array_equal(g2.csr.offsets, small_powerlaw.csr.offsets)
+
+    def test_header_and_counts(self, tmp_path, tiny_chain):
+        path = tmp_path / "chain.adj"
+        write_adjacency_graph(tiny_chain, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "AdjacencyGraph"
+        assert lines[1] == "8"
+        assert lines[2] == "7"
+
+    def test_rejects_empty(self, tmp_path):
+        p = tmp_path / "e.adj"
+        p.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_adjacency_graph(p)
+
+    def test_rejects_bad_header(self, tmp_path):
+        p = tmp_path / "b.adj"
+        p.write_text("NotAGraph\n1\n0\n0\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency_graph(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        p = tmp_path / "t.adj"
+        p.write_text("AdjacencyGraph\n3\n2\n0\n1\n")  # missing entries
+        with pytest.raises(GraphFormatError):
+            read_adjacency_graph(p)
+
+    def test_rejects_out_of_range_edge(self, tmp_path):
+        p = tmp_path / "o.adj"
+        p.write_text("AdjacencyGraph\n2\n1\n0\n1\n9\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency_graph(p)
+
+    def test_rejects_decreasing_offsets(self, tmp_path):
+        p = tmp_path / "d.adj"
+        p.write_text("AdjacencyGraph\n2\n2\n0\n3\n0\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency_graph(p)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, small_powerlaw):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_powerlaw, path)
+        g2 = read_edge_list(path)
+        assert g2.num_vertices == small_powerlaw.num_vertices
+        assert g2.num_edges == small_powerlaw.num_edges
+
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "c.txt"
+        p.write_text("# a comment\n0\t1\n# another\n1\t2\n")
+        g = read_edge_list(p)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_nodes_hint_respected(self, tmp_path):
+        p = tmp_path / "h.txt"
+        p.write_text("# Nodes: 10 Edges: 1\n0 1\n")
+        g = read_edge_list(p)
+        assert g.num_vertices == 10
+
+    def test_rejects_malformed_line(self, tmp_path):
+        p = tmp_path / "m.txt"
+        p.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_rejects_non_integer(self, tmp_path):
+        p = tmp_path / "n.txt"
+        p.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_empty_file_gives_empty_graph(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("# Nodes: 3 Edges: 0\n")
+        g = read_edge_list(p)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, small_grid):
+        path = tmp_path / "g.npz"
+        save_npz(small_grid, path)
+        g2 = load_npz(path)
+        assert np.array_equal(g2.csr.adj, small_grid.csr.adj)
+        assert g2.name == small_grid.name

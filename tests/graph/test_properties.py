@@ -1,0 +1,146 @@
+"""Unit tests for graph characterization (Table I columns)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.properties import characterize, degree_histogram, estimate_zipf_s
+from repro.graph.coo import COOEdges
+from repro.errors import InvalidGraphError
+
+
+class TestCharacterize:
+    def test_star_graph(self):
+        g = gen.star_graph(9, inward=True)
+        c = characterize(g)
+        assert c.num_vertices == 10
+        assert c.num_edges == 9
+        assert c.max_in_degree == 9
+        assert c.pct_zero_in_degree == 90.0
+        assert c.directed
+
+    def test_undirected_detected(self):
+        g = gen.road_grid_graph(5)
+        assert not characterize(g).directed
+
+    def test_as_row_keys(self, small_powerlaw):
+        row = characterize(small_powerlaw).as_row()
+        assert set(row) == {
+            "Graph", "Vertices", "Edges", "MaxDegree", "%ZeroIn", "%ZeroOut", "Type",
+        }
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_n(self, small_powerlaw):
+        hist = degree_histogram(small_powerlaw)
+        assert hist.sum() == small_powerlaw.num_vertices
+
+    def test_directions_differ(self):
+        g = gen.star_graph(4, inward=True)
+        hin = degree_histogram(g, "in")
+        hout = degree_histogram(g, "out")
+        assert hin[4] == 1      # the hub
+        assert hout[1] == 4     # the leaves
+
+    def test_rejects_bad_direction(self, small_powerlaw):
+        with pytest.raises(ValueError):
+            degree_histogram(small_powerlaw, "sideways")
+
+
+class TestZipfEstimate:
+    def test_monotone_in_true_skew(self):
+        """The estimator must rank graphs of the same family by their true
+        Zipf exponent (its absolute value is a crude fit, but the ordering
+        must be right for it to be a useful diagnostic)."""
+        steep = gen.zipf_powerlaw_graph(3000, s=1.4, max_degree=150, seed=1)
+        shallow = gen.zipf_powerlaw_graph(3000, s=0.4, max_degree=150, seed=1)
+        assert estimate_zipf_s(steep) > estimate_zipf_s(shallow)
+
+    def test_tiny_graph_returns_zero(self):
+        g = gen.chain_graph(3)
+        assert estimate_zipf_s(g) == 0.0
+
+
+class TestCOO:
+    def test_from_graph_csr_order(self, small_powerlaw):
+        coo = COOEdges.from_graph(small_powerlaw, order="csr")
+        assert coo.num_edges == small_powerlaw.num_edges
+        # csr order means src is non-decreasing
+        assert np.all(np.diff(coo.src) >= 0)
+
+    def test_from_graph_csc_order(self, small_powerlaw):
+        coo = COOEdges.from_graph(small_powerlaw, order="csc")
+        assert np.all(np.diff(coo.dst) >= 0)
+
+    def test_bad_order_rejected(self, small_powerlaw):
+        with pytest.raises(ValueError):
+            COOEdges.from_graph(small_powerlaw, order="zigzag")
+
+    def test_permuted_roundtrip(self, small_grid):
+        coo = COOEdges.from_graph(small_grid)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(coo.num_edges)
+        shuffled = coo.permuted(perm, "shuffled")
+        assert shuffled.order_name == "shuffled"
+        assert sorted(zip(shuffled.src.tolist(), shuffled.dst.tolist())) == sorted(
+            zip(coo.src.tolist(), coo.dst.tolist())
+        )
+
+    def test_permuted_rejects_non_permutation(self, small_grid):
+        coo = COOEdges.from_graph(small_grid)
+        with pytest.raises(InvalidGraphError):
+            coo.permuted(np.zeros(coo.num_edges, dtype=np.int64), "bad")
+
+    def test_restrict_to_destinations(self, small_powerlaw):
+        coo = COOEdges.from_graph(small_powerlaw)
+        sub = coo.restrict_to_destinations(0, 50)
+        assert np.all(sub.dst < 50)
+        expected = int(np.count_nonzero(coo.dst < 50))
+        assert sub.num_edges == expected
+
+    def test_to_graph_matches(self, small_grid):
+        coo = COOEdges.from_graph(small_grid)
+        g2 = coo.to_graph()
+        assert np.array_equal(g2.csr.adj, small_grid.csr.adj)
+
+
+class TestDatasets:
+    def test_all_loadable_tiny(self):
+        from repro.graph import datasets
+
+        for name in datasets.available():
+            g = datasets.load(name, scale=0.02)
+            assert g.num_vertices > 0
+            assert g.num_edges > 0
+
+    def test_deterministic(self):
+        from repro.graph import datasets
+
+        a = datasets.load("twitter", scale=0.02)
+        b = datasets.load("twitter", scale=0.02)
+        assert np.array_equal(a.csr.adj, b.csr.adj)
+
+    def test_friendster_zero_in_share(self):
+        from repro.graph import datasets
+
+        g = datasets.load("friendster", scale=0.1)
+        frac = g.num_zero_in_degree() / g.num_vertices
+        assert 0.4 < frac < 0.56
+
+    def test_usaroad_near_uniform(self):
+        from repro.graph import datasets
+
+        g = datasets.load("usaroad", scale=0.1)
+        assert g.max_in_degree() <= 9  # paper: max degree 9
+
+    def test_unknown_name_raises(self):
+        from repro.graph import datasets
+
+        with pytest.raises(KeyError):
+            datasets.load("nonexistent")
+
+    def test_bad_scale_raises(self):
+        from repro.graph import datasets
+
+        with pytest.raises(ValueError):
+            datasets.load("twitter", scale=0.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the reporting helpers (tables, speedups, geomeans)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import format_matrix, format_table, geometric_mean, speedups
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_alignment_and_header(self):
+        out = format_table([{"a": 1, "bc": "xy"}, {"a": 22, "bc": "z"}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bc" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table([{"v": 0.000123456}])
+        assert "e" in out.splitlines()[2]  # scientific for tiny values
+        out = format_table([{"v": 1.23456}])
+        assert "1.235" in out
+
+    def test_explicit_columns_subset(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert out  # no KeyError
+
+
+class TestFormatMatrix:
+    def test_nested_mapping(self):
+        out = format_matrix({"r1": {"c1": 1.0, "c2": 2.0}, "r2": {"c1": 3.0}})
+        assert "r1" in out and "c2" in out
+
+    def test_row_label(self):
+        out = format_matrix({"x": {"y": 1.0}}, row_label="graph")
+        assert out.splitlines()[0].startswith("graph")
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_ignores_nonpositive_and_nonfinite(self):
+        assert geometric_mean([2.0, 0.0, -1.0, float("inf")]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+
+class TestSpeedups:
+    def test_ratio_per_key(self):
+        out = speedups({"a": 2.0, "b": 3.0}, {"a": 1.0, "b": 6.0})
+        assert out == {"a": 2.0, "b": 0.5}
+
+    def test_missing_and_zero_keys_skipped(self):
+        out = speedups({"a": 2.0, "b": 1.0}, {"a": 0.0})
+        assert out == {}

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for VEBO's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ordering.vebo import vebo_assignment, vebo_order, _waterfill
+from repro.theory.bounds import check_lemma1_trajectory
+from repro.graph.csr import Graph
+
+
+degree_arrays = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=300
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+partition_counts = st.integers(min_value=1, max_value=12)
+
+
+@given(degree_arrays, partition_counts)
+@settings(max_examples=120, deadline=None)
+def test_assignment_conserves_totals(degs, p):
+    assign, edges, verts = vebo_assignment(degs, p)
+    assert edges.sum() == degs.sum()
+    assert verts.sum() == degs.size
+    assert np.all((assign >= 0) & (assign < p))
+    # per-partition recomputation matches the returned counters
+    for j in range(p):
+        mask = assign == j
+        assert degs[mask].sum() == edges[j]
+        assert int(mask.sum()) == verts[j]
+
+
+@given(degree_arrays, partition_counts)
+@settings(max_examples=120, deadline=None)
+def test_vertex_balance_always_tight(degs, p):
+    """Phase 2's water-filling guarantees vertex counts within 1 whenever
+    there are at least (P-1) zero-degree vertices to spend — and never
+    *increases* the imbalance otherwise."""
+    assign, _, verts = vebo_assignment(degs, p)
+    zeros = int(np.count_nonzero(degs == 0))
+    nonzero_assign = assign[degs > 0]
+    before = np.bincount(nonzero_assign, minlength=p)
+    if zeros >= (before.max() - before.min()) * (p - 1):
+        assert verts.max() - verts.min() <= 1
+
+
+@given(degree_arrays, partition_counts)
+@settings(max_examples=100, deadline=None)
+def test_edge_imbalance_bounded_by_largest_degree(degs, p):
+    """Lemma 1 corollary: the final imbalance never exceeds the largest
+    placed degree (and is 0/trivial when there are no edges)."""
+    _, edges, _ = vebo_assignment(degs, p)
+    if degs.max(initial=0) == 0:
+        assert edges.max(initial=0) == 0
+    else:
+        assert edges.max() - edges.min() <= degs.max()
+
+
+@given(degree_arrays, partition_counts)
+@settings(max_examples=60, deadline=None)
+def test_lemma1_never_violated(degs, p):
+    out = check_lemma1_trajectory(degs, p)
+    assert out["violations"] == 0
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=120, deadline=None)
+def test_waterfill_matches_sequential_argmin(p, seed, budget):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 50, size=p).astype(np.int64)
+    fill = _waterfill(counts.copy(), budget)
+    assert fill.sum() == budget
+    # replay sequential argmin (ties to lowest index)
+    seq = counts.astype(np.int64).copy()
+    for _ in range(budget):
+        seq[int(np.argmin(seq))] += 1
+    assert np.array_equal(counts + fill, seq)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    m = draw(st.integers(min_value=0, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return Graph.from_edges(src, dst, n)
+
+
+@given(random_graphs(), partition_counts)
+@settings(max_examples=60, deadline=None)
+def test_vebo_order_is_permutation_with_consistent_meta(g, p):
+    perm, meta = vebo_order(g, p)
+    assert sorted(perm.tolist()) == list(range(g.num_vertices))
+    bounds = meta["boundaries"]
+    assert bounds[0] == 0 and bounds[-1] == g.num_vertices
+    assert np.all(np.diff(bounds) >= 0)
+    # the permutation respects the partition ranges
+    assign = meta["assign"]
+    for v in range(g.num_vertices):
+        j = assign[v]
+        assert bounds[j] <= perm[v] < bounds[j + 1]
+
+
+@given(random_graphs(), partition_counts)
+@settings(max_examples=40, deadline=None)
+def test_locality_variant_preserves_balance(g, p):
+    _, meta_plain = vebo_order(g, p, locality_blocks=False)
+    _, meta_block = vebo_order(g, p, locality_blocks=True)
+    assert np.array_equal(meta_plain["edge_counts"], meta_block["edge_counts"])
+    assert np.array_equal(meta_plain["vertex_counts"], meta_block["vertex_counts"])

@@ -1,0 +1,98 @@
+"""Cross-module invariants: determinism, idempotence, and pipeline
+consistency checks that span multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import prepare, run
+from repro.graph import generators as gen
+from repro.ordering import ORDERING_REGISTRY, apply_ordering, vebo
+from repro.partition import partition_by_destination
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.zipf_powerlaw_graph(
+        600, s=1.2, max_degree=25, zero_in_fraction=0.2,
+        degree_locality=0.5, neighbor_locality=0.4, source_skew=0.8,
+        seed=41, name="invariants",
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["vebo", "degree-sort", "rcm", "slashburn", "ldg", "fennel"]
+    )
+    def test_orderings_deterministic(self, graph, name):
+        factory = ORDERING_REGISTRY[name]
+        kwargs = {"num_partitions": 8} if name in ("vebo", "ldg", "fennel") else {}
+        a = factory(graph, **kwargs)
+        b = factory(graph, **kwargs)
+        assert np.array_equal(a.perm, b.perm), name
+
+    def test_full_pipeline_deterministic(self, graph):
+        a = run(graph, "PR", "graphgrind", ordering="vebo", num_iterations=3)
+        b = run(graph, "PR", "graphgrind", ordering="vebo", num_iterations=3)
+        assert a.seconds == b.seconds
+
+
+class TestIdempotence:
+    def test_vebo_twice_keeps_balance(self, graph):
+        """Applying VEBO to an already-VEBO'd graph must not degrade the
+        balance (the partitions it finds are again optimal)."""
+        first = vebo(graph, num_partitions=8)
+        g1 = apply_ordering(graph, first)
+        second = vebo(g1, num_partitions=8)
+        assert second.meta["edge_imbalance"] <= max(1, first.meta["edge_imbalance"])
+        assert second.meta["vertex_imbalance"] <= max(1, first.meta["vertex_imbalance"])
+
+    def test_vebo_partition_counts_stable(self, graph):
+        """VEBO's per-partition counts depend only on the degree multiset,
+        so a random relabelling of the input changes nothing."""
+        from repro.ordering import random_permutation
+
+        direct = vebo(graph, num_partitions=8)
+        scrambled = apply_ordering(graph, random_permutation(graph, seed=7))
+        indirect = vebo(scrambled, num_partitions=8)
+        assert np.array_equal(
+            np.sort(direct.meta["edge_counts"]),
+            np.sort(indirect.meta["edge_counts"]),
+        )
+        assert np.array_equal(
+            np.sort(direct.meta["vertex_counts"]),
+            np.sort(indirect.meta["vertex_counts"]),
+        )
+
+
+class TestPipelineConsistency:
+    def test_vebo_meta_matches_partition_stats(self, graph):
+        """The balance VEBO promises in meta must equal what the chunk
+        partitioner measures on the reordered graph."""
+        for p in (2, 8, 32):
+            order = vebo(graph, num_partitions=p)
+            g2 = apply_ordering(graph, order)
+            pg = partition_by_destination(g2, p, boundaries=order.meta["boundaries"])
+            assert np.array_equal(pg.stats.edges, order.meta["edge_counts"])
+            assert np.array_equal(pg.stats.vertices, order.meta["vertex_counts"])
+
+    def test_prepared_graph_isomorphic(self, graph):
+        for name in ("vebo", "random", "degree-sort"):
+            prep = prepare(graph, name, 8)
+            assert prep.graph.num_edges == graph.num_edges
+            assert sorted(prep.graph.in_degrees().tolist()) == sorted(
+                graph.in_degrees().tolist()
+            )
+
+    def test_ordering_seconds_recorded(self, graph):
+        prep = prepare(graph, "rcm", 8)
+        assert prep.ordering_seconds > 0.0
+
+    def test_frameworks_price_same_trace_differently(self, graph):
+        """One prepared graph, one algorithm, three personalities: the
+        prices differ because the scheduling policies differ — if they
+        were equal, the personalities would be dead code."""
+        secs = {
+            fw: run(graph, "PR", fw, ordering="original", num_iterations=3).seconds
+            for fw in ("ligra", "polymer", "graphgrind")
+        }
+        assert len({round(v, 15) for v in secs.values()}) == 3

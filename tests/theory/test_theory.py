@@ -1,0 +1,136 @@
+"""Unit tests for the Zipf model and the Lemma 1 / Theorem 1-2 checkers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TheoremPreconditionError
+from repro.theory import (
+    alpha_from_s,
+    check_balance_bounds,
+    check_lemma1_trajectory,
+    expected_mean_degree,
+    harmonic_number,
+    ideal_degree_sequence,
+    s_from_alpha,
+    sample_degrees,
+    theorem1_preconditions,
+    theorem2_preconditions,
+    zipf_pmf,
+)
+
+
+class TestZipfModel:
+    def test_harmonic_number_known_values(self):
+        assert harmonic_number(1, 1.0) == pytest.approx(1.0)
+        assert harmonic_number(4, 1.0) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        assert harmonic_number(10, 0.0) == pytest.approx(10.0)
+
+    def test_harmonic_rejects_bad_n(self):
+        with pytest.raises(TheoremPreconditionError):
+            harmonic_number(0, 1.0)
+
+    def test_pmf_normalized_and_decreasing(self):
+        pmf = zipf_pmf(50, 1.2)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pmf) <= 0)
+
+    def test_pmf_s_zero_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_expected_mean_degree_consistent(self):
+        pmf = zipf_pmf(20, 1.0)
+        expected = float((np.arange(20) * pmf).sum())
+        assert expected_mean_degree(20, 1.0) == pytest.approx(expected)
+
+    def test_ideal_sequence_total_and_shape(self):
+        seq = ideal_degree_sequence(1000, 30, 1.0)
+        assert seq.size == 1000
+        assert seq.min() >= 0 and seq.max() <= 29
+        # degree 0 is the most frequent
+        counts = np.bincount(seq, minlength=30)
+        assert counts[0] == counts.max()
+
+    def test_sample_degrees_range(self):
+        degs = sample_degrees(500, 25, 1.1, seed=3)
+        assert degs.min() >= 0 and degs.max() <= 24
+
+    def test_alpha_s_duality(self):
+        assert alpha_from_s(1.0) == pytest.approx(2.0)
+        assert s_from_alpha(alpha_from_s(0.7)) == pytest.approx(0.7)
+        with pytest.raises(TheoremPreconditionError):
+            alpha_from_s(0.0)
+        with pytest.raises(TheoremPreconditionError):
+            s_from_alpha(1.0)
+
+
+class TestLemma1:
+    def test_no_violations_on_zipf(self):
+        degs = ideal_degree_sequence(2000, 40, 1.0)
+        out = check_lemma1_trajectory(degs, 8)
+        assert out["violations"] == 0
+        assert out["steps"] == int(np.count_nonzero(degs))
+
+    def test_no_violations_on_adversarial(self):
+        degs = np.array([100, 50, 50, 3, 3, 3, 1, 1, 1, 1])
+        out = check_lemma1_trajectory(degs, 3)
+        assert out["violations"] == 0
+
+    def test_both_cases_exercised(self):
+        degs = ideal_degree_sequence(3000, 50, 1.0)
+        out = check_lemma1_trajectory(degs, 4)
+        assert out["case_eq2"] > 0
+        assert out["case_eq3"] > 0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(TheoremPreconditionError):
+            check_lemma1_trajectory(np.array([1]), 0)
+
+
+class TestTheoremPreconditions:
+    def test_theorem1(self):
+        assert theorem1_preconditions(
+            num_edges=10_000, max_degree_plus_one=100, num_partitions=8, s=1.0
+        )
+        assert not theorem1_preconditions(10_000, 100, 200, 1.0)  # P >= N
+        assert not theorem1_preconditions(100, 100, 8, 1.0)  # too few edges
+        assert not theorem1_preconditions(10_000, 100, 8, 0.0)  # s = 0
+
+    def test_theorem2_needs_enough_vertices(self):
+        big_n = 50
+        needed = big_n * harmonic_number(big_n, 1.0)
+        assert theorem2_preconditions(
+            num_vertices=int(needed) + 1, max_degree_plus_one=big_n,
+            num_partitions=4, s=1.0, num_edges=10_000,
+        )
+        assert not theorem2_preconditions(
+            num_vertices=int(needed) - 10, max_degree_plus_one=big_n,
+            num_partitions=4, s=1.0, num_edges=10_000,
+        )
+
+
+class TestBalanceBounds:
+    @pytest.mark.parametrize("s", [0.8, 1.0, 1.3])
+    @pytest.mark.parametrize("p", [2, 7, 16])
+    def test_theorems_hold_on_ideal_sequences(self, s, p):
+        degs = ideal_degree_sequence(5000, 40, s)
+        report = check_balance_bounds(degs, p, s=s)
+        if report.theorem1_applicable:
+            assert report.theorem1_holds
+        if report.theorem2_applicable:
+            assert report.theorem2_holds
+
+    def test_report_without_s(self):
+        degs = ideal_degree_sequence(500, 10, 1.0)
+        report = check_balance_bounds(degs, 4)
+        assert not report.theorem1_applicable
+        assert report.theorem1_holds is None
+        assert report.edge_imbalance >= 0
+
+    def test_imbalance_when_preconditions_violated(self):
+        # One massive hub, few edges: Delta must exceed 1 and the report
+        # must mark the theorem inapplicable rather than failed.
+        degs = np.array([1000, 1, 1, 1])
+        report = check_balance_bounds(degs, 3, s=1.0)
+        assert not report.theorem1_applicable
+        assert report.edge_imbalance > 1
