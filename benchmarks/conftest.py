@@ -9,6 +9,10 @@ scale that keeps the full harness in the minutes range.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Graphs come through the :mod:`repro.store` artifact cache, so everything
+after the first harness run starts warm (set ``REPRO_CACHE_OFF=1`` to
+force regeneration, ``REPRO_CACHE_DIR`` to relocate the cache).
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import datasets
+from repro import store
 
 #: Scale multiplier for the stand-in datasets used by the harness.
 BENCH_SCALE = 0.4
@@ -27,7 +31,7 @@ _cache: dict[tuple[str, float], object] = {}
 def load_cached(name: str, scale: float = BENCH_SCALE):
     key = (name, scale)
     if key not in _cache:
-        _cache[key] = datasets.load(name, scale=scale)
+        _cache[key] = store.load_graph(name, scale=scale)
     return _cache[key]
 
 

@@ -9,8 +9,8 @@ vertex orderings.  Statically scheduled systems reward VEBO's balance the
 most, which is Section V-A's headline.
 """
 
+from repro import store
 from repro.experiments import run_sweep
-from repro.graph import datasets
 from repro.metrics import format_table, geometric_mean
 
 GRAPH = "twitter"
@@ -20,7 +20,7 @@ FRAMEWORKS = ["ligra", "polymer", "graphgrind"]
 
 
 def main() -> None:
-    graph = datasets.load(GRAPH, scale=0.4)
+    graph = store.load_graph(GRAPH, scale=0.4)
     print(f"graph: {graph.name}, n={graph.num_vertices:,}, m={graph.num_edges:,}")
     print("running the sweep (3 frameworks x 4 orderings x 4 algorithms)...")
 

@@ -14,8 +14,8 @@ all of it on one graph:
 
 from repro.edgeorder import order_edges
 from repro.experiments import run
+from repro import store
 from repro.experiments.runner import prepare, _measure_locality
-from repro.graph import datasets
 from repro.metrics import format_table
 from repro.partition.algorithm1 import chunk_boundaries
 from repro.partition.stats import compute_stats
@@ -25,7 +25,7 @@ P = 384
 
 
 def main() -> None:
-    graph = datasets.load("twitter", scale=0.15)
+    graph = store.load_graph("twitter", scale=0.15)
     print(f"graph: {graph.name}, n={graph.num_vertices:,}, m={graph.num_edges:,}")
 
     rows = []

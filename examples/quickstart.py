@@ -12,7 +12,7 @@ Walks the paper's Figure 2 pipeline end to end:
 
 import numpy as np
 
-from repro.graph import datasets
+from repro import store
 from repro.graph.csr import Graph
 from repro.ordering import apply_ordering, vebo
 from repro.partition import partition_by_destination
@@ -22,7 +22,8 @@ P = 48  # partitions (the paper uses 384 for GraphGrind, 4 for Polymer)
 
 def main() -> None:
     # 1. a scale-free graph: ~14% zero in-degree, heavy-tailed like Twitter
-    graph = datasets.load("twitter", scale=0.25)
+    #    (served from the on-disk artifact cache after the first run)
+    graph = store.load_graph("twitter", scale=0.25)
     print(f"graph: {graph.name}, n={graph.num_vertices:,}, m={graph.num_edges:,}")
 
     # 2. VEBO: O(n log P), returns the permutation + partition metadata

@@ -24,6 +24,9 @@ Public API tour
     Zipf degree model; Lemma 1 / Theorem 1 / Theorem 2 checkers.
 ``repro.experiments``
     End-to-end configuration runner behind the benchmark harness.
+``repro.store``
+    Dataset registry plus the content-addressed on-disk artifact cache
+    that persists graphs, VEBO partitions and edge orderings between runs.
 
 Quickstart
 ----------
@@ -39,6 +42,8 @@ True
 """
 
 from repro.errors import (
+    CacheError,
+    DatasetError,
     GraphFormatError,
     InvalidGraphError,
     OrderingError,
@@ -51,6 +56,8 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheError",
+    "DatasetError",
     "GraphFormatError",
     "InvalidGraphError",
     "OrderingError",

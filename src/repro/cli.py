@@ -1,36 +1,142 @@
-"""Command-line tool mirroring the paper artifact's reordering interface.
+"""Command-line interface: reordering plus dataset/cache management.
 
-The artifact appendix documents::
+``vebo-reorder reorder`` mirrors the paper artifact's interface::
 
     ./VEBO -r 100 -p 384 original vebo
 
 where ``-r`` is a vertex to track through the renumbering, ``-p`` the
 partition count, ``original`` the input adjacency file and ``vebo`` the
-output file.  ``vebo-reorder`` accepts the same shape plus a choice of
-algorithm and prints the balance report the artifact's expected-result
+output file; it prints the balance report the artifact's expected-result
 section describes (per-partition vertex/edge counts, Delta(n), delta(n)).
+For backward compatibility the subcommand may be omitted:
+``vebo-reorder in.adj out.adj -p 384`` still works.
+
+``vebo-reorder datasets`` manages the :mod:`repro.store` registry and
+artifact cache::
+
+    vebo-reorder datasets list
+    vebo-reorder datasets build twitter --scale 0.5 --partitions 384
+    vebo-reorder datasets clean
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.graph.io import read_adjacency_graph, write_adjacency_graph
-from repro.ordering import apply_ordering, get_ordering
-from repro.partition.algorithm1 import chunk_boundaries
-from repro.partition.stats import compute_stats
+from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+_CACHE_EPILOG = """\
+cache configuration:
+  --cache-dir PATH      artifact cache root for this invocation
+                        (overrides REPRO_CACHE_DIR)
+  --no-cache            bypass the artifact cache (build from scratch,
+                        do not persist)
+
+environment variables:
+  REPRO_CACHE_DIR       root directory of the on-disk artifact cache
+                        (default: $XDG_CACHE_HOME/repro-vebo or
+                        ~/.cache/repro-vebo)
+  REPRO_CACHE_OFF       any non-empty value disables the artifact cache
+                        everywhere, as if --no-cache were always given
+
+Cached artifacts are content-addressed npz bundles under
+<cache root>/{graph,ordering,partition,edgeorder}/; `datasets clean`
+removes only files the cache itself wrote (verified by an embedded
+marker), never foreign files.
+"""
+
+
+def _resolve_cli_cache(args):
+    """Map --cache-dir/--no-cache onto a cache handle (or None)."""
+    from repro.store import ArtifactCache, resolve_cache
+
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return ArtifactCache(cache_dir)
+    return resolve_cache(None)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="artifact cache root (overrides REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the artifact cache entirely",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vebo-reorder",
-        description="Reorder a graph with VEBO (or a baseline ordering) and "
-        "report the resulting partition balance.",
+        description="Reorder graphs with VEBO and manage the dataset/artifact store.",
+        epilog=_CACHE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    sub = parser.add_subparsers(dest="command")
+
+    reorder = sub.add_parser(
+        "reorder",
+        help="reorder a graph file and report partition balance "
+        "(the paper artifact's interface)",
+    )
+    _add_reorder_args(reorder)
+
+    datasets = sub.add_parser(
+        "datasets",
+        help="list registered datasets, build them into the cache, "
+        "or clean the cache",
+        epilog=_CACHE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    dsub = datasets.add_subparsers(dest="datasets_command", required=True)
+
+    dlist = dsub.add_parser("list", help="show registered datasets and cache status")
+    _add_cache_flags(dlist)
+
+    dbuild = dsub.add_parser(
+        "build",
+        help="build dataset graphs (and optionally orderings/partitions) "
+        "into the artifact cache",
+    )
+    dbuild.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="dataset names (default: every registered dataset)",
+    )
+    dbuild.add_argument("--scale", type=float, default=1.0, help="generator size multiplier")
+    dbuild.add_argument("--seed", type=int, default=12345, help="generator seed")
+    dbuild.add_argument(
+        "-p", "--partitions", type=int, default=None, metavar="P",
+        help="also build and cache a VEBO ordering + partition at P partitions",
+    )
+    dbuild.add_argument(
+        "--edge-order", default=None, metavar="ORDER",
+        help="also build and cache a COO edge order (hilbert, csr, csc, random)",
+    )
+    dbuild.add_argument(
+        "--refresh", action="store_true", help="rebuild even on a cache hit"
+    )
+    _add_cache_flags(dbuild)
+
+    dclean = dsub.add_parser("clean", help="delete cache-owned artifact bundles")
+    dclean.add_argument(
+        "--kind", default=None, choices=("graph", "ordering", "partition", "edgeorder"),
+        help="restrict to one artifact family (default: all)",
+    )
+    _add_cache_flags(dclean)
+
+    return parser
+
+
+def _add_reorder_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("input", help="input graph in Ligra adjacency format")
     parser.add_argument("output", help="path for the reordered graph")
     parser.add_argument(
@@ -47,11 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the balance report"
     )
-    return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _cmd_reorder(args) -> int:
+    from repro.graph.io import read_adjacency_graph, write_adjacency_graph
+    from repro.ordering import apply_ordering, get_ordering
+    from repro.partition.algorithm1 import chunk_boundaries
+    from repro.partition.stats import compute_stats
+
     t0 = time.perf_counter()
     graph = read_adjacency_graph(args.input)
     load_s = time.perf_counter() - t0
@@ -84,6 +193,129 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"vertex {args.track} out of range", file=sys.stderr)
                 return 2
     return 0
+
+
+def _cmd_datasets_list(args) -> int:
+    from repro import store
+
+    cache = _resolve_cli_cache(args)
+    cached_keys: set[tuple[str, str]] = set()
+    if cache is not None:
+        cached_keys = {(kind, key) for kind, key, _ in cache.entries()}
+        print(f"cache root: {cache.root}  ({len(cached_keys)} artifact(s))")
+    else:
+        print("cache: disabled")
+    # "cached" refers to the default-parameter build of each dataset.
+    # File-backed specs show "?": their cache key embeds a digest of the
+    # source file, and hashing a multi-gigabyte download just to render a
+    # listing would be absurd.
+    print(f"{'name':<14} {'source':<10} {'cached':<7} description")
+    for name in store.available_datasets():
+        spec = store.get_dataset(name)
+        if spec.source == "file":
+            hit = "?"
+        else:
+            try:
+                key = store.artifact_key("graph", spec.cache_payload())
+                hit = "yes" if ("graph", key) in cached_keys else "no"
+            except ReproError:
+                hit = "?"
+        print(f"{name:<14} {spec.source:<10} {hit:<7} {spec.description}")
+    return 0
+
+
+def _cmd_datasets_build(args) -> int:
+    from repro import store
+
+    cache = _resolve_cli_cache(args)
+    cache_arg = cache if cache is not None else False
+    names = args.names or store.available_datasets()
+    status = 0
+    for name in names:
+        t0 = time.perf_counter()
+        try:
+            spec = store.get_dataset(name)
+            # Only forward the knobs this spec actually accepts, so custom
+            # datasets registered with other parameter names still build.
+            params = {
+                k: v
+                for k, v in (("scale", args.scale), ("seed", args.seed))
+                if k in spec.defaults
+            }
+            graph = store.load_graph(
+                name, cache=cache_arg, refresh=args.refresh, **params
+            )
+        except ReproError as exc:
+            print(f"{name}: ERROR: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        graph_s = time.perf_counter() - t0
+        line = (
+            f"{name}: n={graph.num_vertices:,} m={graph.num_edges:,} "
+            f"graph {graph_s:.3f}s"
+        )
+        if args.partitions:
+            t1 = time.perf_counter()
+            pg = store.cached_partition(
+                graph, args.partitions, ordering="vebo",
+                cache=cache_arg, refresh=args.refresh,
+            )
+            line += (
+                f"  vebo-partition(P={args.partitions}) "
+                f"{time.perf_counter() - t1:.3f}s "
+                f"Delta={pg.edge_imbalance()} delta={pg.vertex_imbalance()}"
+            )
+        if args.edge_order:
+            t2 = time.perf_counter()
+            store.cached_edge_order(
+                graph, args.edge_order, cache=cache_arg, refresh=args.refresh
+            )
+            line += f"  edgeorder[{args.edge_order}] {time.perf_counter() - t2:.3f}s"
+        print(line)
+    return status
+
+
+def _cmd_datasets_clean(args) -> int:
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print("cache: disabled; nothing to clean")
+        return 0
+    removed = cache.clean(kind=args.kind)
+    print(f"removed {len(removed)} artifact(s) from {cache.root}")
+    return 0
+
+
+_SUBCOMMANDS = ("reorder", "datasets")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy shim: `vebo-reorder in.adj out.adj [-p N ...]` (no subcommand)
+    # keeps working exactly as before the store was introduced.
+    head = next((a for a in argv if not a.startswith("-")), None)
+    if head is not None and head not in _SUBCOMMANDS:
+        argv.insert(0, "reorder")
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            handler = {
+                "list": _cmd_datasets_list,
+                "build": _cmd_datasets_build,
+                "clean": _cmd_datasets_clean,
+            }[args.datasets_command]
+            return handler(args)
+        if args.command == "reorder":
+            return _cmd_reorder(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    build_parser().print_help()
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

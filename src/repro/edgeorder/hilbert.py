@@ -1,15 +1,31 @@
 """Hilbert space-filling-curve edge ordering.
 
-GraphGrind traverses dense-frontier COO edge lists in Hilbert order: edge
-``(src, dst)`` is treated as the 2-D point ``(dst, src)`` and edges are
-sorted by their position ``d`` along the Hilbert curve covering the
-``2^k x 2^k`` grid that encloses the adjacency matrix.  Consecutive edges
-on the curve touch nearby rows *and* columns, improving reuse of both the
-source-value and destination-accumulator arrays (the paper's Section V-G).
+This module backs the paper's space-filling-curve experiment (Section
+V-G, **Figure 6**): GraphGrind traverses dense-frontier COO edge lists in
+Hilbert order, and the paper asks whether that still pays off once VEBO
+has renumbered the vertices.  Edge ``(src, dst)`` is treated as the 2-D
+point ``(dst, src)`` and edges are sorted by their position ``d`` along
+the Hilbert curve covering the ``2^k x 2^k`` grid that encloses the
+adjacency matrix.  Consecutive edges on the curve touch nearby rows *and*
+columns, improving reuse of both the source-value and
+destination-accumulator arrays.
+
+Figure 6's finding, which :mod:`benchmarks.test_fig6_space_filling`
+reproduces: Hilbert order helps the *Original*, *RCM* and *Gorder*
+configurations, but under VEBO the plain CSR (source-major) order is
+competitive or better — VEBO concentrates the high-degree destinations at
+the front of the ID range, so destination-major locality is already good
+and the Hilbert sort's O(m log m) cost (Table VI's "edge reordering"
+column) buys little.  The experiment runner therefore pairs GraphGrind
+with Hilbert for non-VEBO orderings and CSR order for VEBO
+(:func:`repro.experiments.runner._edge_order_for`), and the
+:mod:`repro.store` cache persists the sorted edge list so the sort cost
+is paid once per (graph, order) pair.
 
 The coordinate -> curve-index transform (``xy2d``) is the standard
 bit-twiddling recurrence, fully vectorized over numpy arrays: k rounds of
 quadrant classification and rotation, no per-edge Python work.
+:func:`hilbert_d2xy` is the inverse, used by tests to verify bijectivity.
 """
 
 from __future__ import annotations

@@ -28,6 +28,14 @@ class PartitionError(ReproError):
     """A partitioning request is infeasible or a partition is malformed."""
 
 
+class DatasetError(ReproError):
+    """A dataset registry lookup or build request is invalid."""
+
+
+class CacheError(ReproError):
+    """An on-disk artifact cache operation failed or found corrupt data."""
+
+
 class TheoremPreconditionError(ReproError):
     """A theorem-checking helper was invoked outside its preconditions."""
 

@@ -107,13 +107,27 @@ def prepare(
     graph: Graph,
     ordering: str,
     num_partitions: int,
+    cache: object = False,
+    refresh: bool = False,
     **ordering_kwargs,
 ) -> PreparedGraph:
-    """Reorder ``graph`` and compute the permutation bookkeeping."""
-    factory = get_ordering(ordering)
+    """Reorder ``graph`` and compute the permutation bookkeeping.
+
+    ``cache`` opts the (expensive) ordering step into the
+    :mod:`repro.store` artifact cache; content addressing on the graph's
+    arrays guarantees a replayed permutation matches this exact graph.
+    The default ``False`` keeps ``ordering_seconds`` a fresh measurement.
+    """
     if ordering == "vebo":
         ordering_kwargs.setdefault("num_partitions", num_partitions)
-    result = factory(graph, **ordering_kwargs)
+    if cache is not False:
+        from repro.store import cached_ordering
+
+        result = cached_ordering(
+            graph, ordering, cache=cache, refresh=refresh, **ordering_kwargs
+        )
+    else:
+        result = get_ordering(ordering)(graph, **ordering_kwargs)
     reordered = apply_ordering(graph, result)
     boundaries = None
     if ordering == "vebo":
@@ -135,17 +149,19 @@ def run(
     ordering: str = "original",
     prepared: PreparedGraph | None = None,
     locality: tuple[float, float] | None = None,
+    cache: object = False,
     **algo_kwargs,
 ) -> ExperimentResult:
     """Run one configuration and price it.
 
     ``prepared`` short-circuits the reordering when the caller sweeps many
-    algorithms over one prepared graph.
+    algorithms over one prepared graph; ``cache`` opts the reordering into
+    the :mod:`repro.store` artifact cache instead.
     """
     fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
     p = fw.default_partitions
     if prepared is None:
-        prepared = prepare(graph, ordering, num_partitions=p)
+        prepared = prepare(graph, ordering, num_partitions=p, cache=cache)
     g = prepared.graph
 
     if prepared.boundaries is not None and prepared.boundaries.size == p + 1:
@@ -194,10 +210,13 @@ def run_sweep(
     algorithms: list[str],
     frameworks: list[str],
     orderings: list[str],
+    cache: object = False,
     **algo_kwargs,
 ) -> list[ExperimentResult]:
     """The Table III inner loop for one graph: all combinations, reusing
-    each reordered graph across frameworks and algorithms."""
+    each reordered graph across frameworks and algorithms.  ``cache``
+    additionally persists each ordering via :mod:`repro.store`, so a
+    repeated sweep (or another process) skips the reordering entirely."""
     results: list[ExperimentResult] = []
     for fw_name in frameworks:
         fw = FRAMEWORKS[fw_name]
@@ -205,7 +224,9 @@ def run_sweep(
         for ordering in orderings:
             key = (ordering, fw.default_partitions)
             if key not in prepared_cache:
-                prepared_cache[key] = prepare(graph, ordering, fw.default_partitions)
+                prepared_cache[key] = prepare(
+                    graph, ordering, fw.default_partitions, cache=cache
+                )
             prep = prepared_cache[key]
             for algo in algorithms:
                 results.append(

@@ -155,12 +155,22 @@ def available() -> list[str]:
     return list(STANDIN_SPECS)
 
 
-def load(name: str, scale: float = 1.0, seed: int = 12345) -> Graph:
+def load(name: str, scale: float = 1.0, seed: int = 12345, cache: object = False) -> Graph:
     """Generate the stand-in graph ``name`` at the given size multiplier.
 
     ``scale=1.0`` targets tens of thousands of vertices (seconds to build);
     tests use ``scale=0.05`` or smaller.
+
+    ``cache`` opts into the :mod:`repro.store` on-disk artifact cache
+    (pass ``True``/``None`` for the default cache or an
+    :class:`~repro.store.cache.ArtifactCache`); the generated graph is
+    then persisted and replayed from disk on later calls.  The default
+    ``False`` always regenerates.
     """
+    if cache is not False:
+        from repro import store
+
+        return store.load_graph(name, scale=scale, seed=seed, cache=cache)
     try:
         spec = STANDIN_SPECS[name]
     except KeyError:

@@ -12,12 +12,20 @@ Two interchange formats are supported:
 
 A compact **binary** format (npz) is provided for fast round-trips in
 tests and benchmarks.
+
+Edge lists are parsed in bounded-memory chunks (see
+:mod:`repro.store.chunked`), so files far larger than a comfortable
+single batch stream through without a blow-up.  Every reader raises the
+project's typed :class:`~repro.errors.GraphFormatError` — including for
+unreadable or non-ASCII files, which would otherwise surface as bare
+``OSError`` / ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
 
 import io
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -38,6 +46,17 @@ _ADJ_HEADER = "AdjacencyGraph"
 _WADJ_HEADER = "WeightedAdjacencyGraph"
 
 
+@contextmanager
+def _typed_read_errors(path):
+    """Convert stdlib read failures into the library's typed error."""
+    try:
+        yield
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(f"{path}: not an ASCII graph file: {exc}") from exc
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: cannot read graph file: {exc}") from exc
+
+
 def write_adjacency_graph(graph: Graph, path: str | os.PathLike) -> None:
     """Serialize the CSR (out-edge) view in Ligra adjacency text format."""
     csr = graph.csr
@@ -49,7 +68,8 @@ def write_adjacency_graph(graph: Graph, path: str | os.PathLike) -> None:
 
 def read_adjacency_graph(path: str | os.PathLike, name: str | None = None) -> Graph:
     """Parse a Ligra ``AdjacencyGraph``/``WeightedAdjacencyGraph`` file."""
-    text = Path(path).read_text(encoding="ascii")
+    with _typed_read_errors(path):
+        text = Path(path).read_text(encoding="ascii")
     tokens = text.split()
     if not tokens:
         raise GraphFormatError(f"{path}: empty file")
@@ -72,7 +92,7 @@ def read_adjacency_graph(path: str | os.PathLike, name: str | None = None) -> Gr
         )
     try:
         numbers = np.array(body[2 : 2 + n + m], dtype=INDEX_DTYPE)
-    except ValueError as exc:
+    except (ValueError, OverflowError) as exc:
         raise GraphFormatError(f"{path}: non-integer entries") from exc
     starts = numbers[:n]
     adj = numbers[n : n + m]
@@ -109,33 +129,14 @@ def read_edge_list(
 
     The node count is taken from a ``# Nodes: <n>`` comment when present,
     else from ``num_vertices``, else inferred from the largest endpoint.
+
+    Parsing streams through :func:`repro.store.chunked.read_edge_list_chunked`
+    in bounded-memory batches, so arbitrarily large files load without
+    materializing the whole text at once.
     """
-    n_hint = num_vertices
-    rows = []
-    for lineno, line in enumerate(Path(path).read_text(encoding="ascii").splitlines(), 1):
-        stripped = line.strip()
-        if not stripped:
-            continue
-        if stripped.startswith("#"):
-            if "Nodes:" in stripped and n_hint is None:
-                try:
-                    n_hint = int(stripped.split("Nodes:")[1].split()[0])
-                except (ValueError, IndexError):
-                    pass
-            continue
-        parts = stripped.split()
-        if len(parts) < 2:
-            raise GraphFormatError(f"{path}:{lineno}: expected 'src dst'")
-        try:
-            rows.append((int(parts[0]), int(parts[1])))
-        except ValueError as exc:
-            raise GraphFormatError(f"{path}:{lineno}: non-integer endpoint") from exc
-    if rows:
-        arr = np.asarray(rows, dtype=INDEX_DTYPE)
-        src, dst = arr[:, 0], arr[:, 1]
-    else:
-        src = dst = np.empty(0, dtype=INDEX_DTYPE)
-    return Graph.from_edges(src, dst, n_hint, name=name or Path(path).stem)
+    from repro.store.chunked import read_edge_list_chunked
+
+    return read_edge_list_chunked(path, num_vertices=num_vertices, name=name)
 
 
 def save_npz(graph: Graph, path: str | os.PathLike) -> None:
@@ -150,7 +151,13 @@ def save_npz(graph: Graph, path: str | os.PathLike) -> None:
 
 def load_npz(path: str | os.PathLike) -> Graph:
     """Load a graph written by :func:`save_npz`."""
-    with np.load(path, allow_pickle=False) as data:
+    try:
+        data_ctx = np.load(path, allow_pickle=False)
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: cannot read npz graph: {exc}") from exc
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: not an npz graph archive: {exc}") from exc
+    with data_ctx as data:
         try:
             csr = CSRMatrix(offsets=data["offsets"], adj=data["adj"])
             name = str(data["name"]) if "name" in data else Path(path).stem

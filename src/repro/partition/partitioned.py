@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -72,6 +73,28 @@ class PartitionedGraph:
         """Per-partition edge/vertex/unique-endpoint counters (Figure 1)."""
         return compute_stats(self.graph, self.boundaries)
 
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str | os.PathLike) -> None:
+        """Persist graph + boundaries as one npz bundle (the same encoding
+        the :mod:`repro.store` artifact cache uses)."""
+        from repro.store.serialization import pack_partition
+
+        np.savez_compressed(path, **pack_partition(self))
+
+    @classmethod
+    def load_npz(cls, path: str | os.PathLike) -> "PartitionedGraph":
+        """Load a partition written by :meth:`save_npz`."""
+        from repro.errors import CacheError
+        from repro.store.serialization import unpack_partition
+
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError) as exc:
+            raise CacheError(f"{path}: cannot read partition bundle: {exc}") from exc
+        return unpack_partition(arrays)
+
+    # ------------------------------------------------------------------
     def edge_imbalance(self) -> int:
         return self.stats.edge_imbalance()
 

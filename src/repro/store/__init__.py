@@ -1,0 +1,198 @@
+"""``repro.store`` — dataset registry + on-disk artifact cache.
+
+The store is the warm path under every benchmark and example: graphs,
+VEBO (or baseline) orderings, chunk partitions and COO edge orders are
+deterministic functions of a dataset spec and build parameters, so the
+store builds each artifact once, persists it as an ``.npz`` bundle keyed
+by a content hash (:mod:`repro.store.cache`), and replays it from disk on
+every later request.
+
+Quickstart
+----------
+>>> from repro import store
+>>> g = store.load_graph("twitter", scale=0.1)     # built, then cached
+>>> g2 = store.load_graph("twitter", scale=0.1)    # loaded from disk
+>>> order = store.cached_ordering(g, "vebo", num_partitions=384)
+>>> pg = store.cached_partition(g, 384, ordering="vebo")
+
+``cache=`` on every function accepts an explicit
+:class:`~repro.store.cache.ArtifactCache`, ``None``/``True`` (the default
+cache, honouring ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_OFF``), or ``False``
+(bypass).  ``refresh=True`` rebuilds and overwrites the cached entry.
+"""
+
+from __future__ import annotations
+
+from repro.edgeorder.orders import EdgeOrderResult
+from repro.graph.csr import Graph
+from repro.ordering.base import OrderingResult, apply_ordering, get_ordering
+from repro.store.cache import (
+    ARTIFACT_KINDS,
+    ArtifactCache,
+    artifact_key,
+    array_fingerprint,
+    default_cache,
+    default_cache_root,
+    resolve_cache,
+)
+from repro.store.chunked import iter_edge_chunks, read_edge_list_chunked
+from repro.store.registry import (
+    DATASET_REGISTRY,
+    DatasetSpec,
+    available_datasets,
+    get_dataset,
+    register_dataset,
+    register_file_dataset,
+)
+from repro.store import serialization as ser
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactCache",
+    "DATASET_REGISTRY",
+    "DatasetSpec",
+    "artifact_key",
+    "array_fingerprint",
+    "available_datasets",
+    "cached_edge_order",
+    "cached_ordering",
+    "cached_partition",
+    "default_cache",
+    "default_cache_root",
+    "get_dataset",
+    "iter_edge_chunks",
+    "load_graph",
+    "read_edge_list_chunked",
+    "register_dataset",
+    "register_file_dataset",
+    "resolve_cache",
+]
+
+
+def load_graph(
+    name: str,
+    *,
+    cache: ArtifactCache | bool | None = None,
+    refresh: bool = False,
+    **params,
+) -> Graph:
+    """Resolve a registered dataset to a :class:`Graph`, cache-first.
+
+    On a miss the spec's builder runs (generator or file parse) and the
+    result is persisted; on a hit the graph is reconstructed from the
+    cached CSR arrays and no build work happens at all.
+    """
+    spec = get_dataset(name)
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return spec.build(**params)
+    key = artifact_key("graph", spec.cache_payload(**params))
+    arrays, _hit = resolved.get_or_build(
+        "graph", key, lambda: ser.pack_graph(spec.build(**params)), refresh=refresh
+    )
+    return ser.unpack_graph(arrays)
+
+
+def _graph_key_payload(graph: Graph) -> dict:
+    return {"graph_sha256": ser.graph_fingerprint(graph)}
+
+
+def cached_ordering(
+    graph: Graph,
+    algorithm: str,
+    *,
+    cache: ArtifactCache | bool | None = None,
+    refresh: bool = False,
+    **kwargs,
+) -> OrderingResult:
+    """Compute (or replay) a vertex ordering of ``graph``.
+
+    Content-addressed: the key hashes the graph's CSR arrays plus the
+    algorithm name and its keyword arguments, so a cached permutation can
+    never be applied to a graph it was not computed from.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return get_ordering(algorithm)(graph, **kwargs)
+    payload = {**_graph_key_payload(graph), "algorithm": algorithm, "kwargs": kwargs}
+    key = artifact_key("ordering", payload)
+    arrays, _hit = resolved.get_or_build(
+        "ordering",
+        key,
+        lambda: ser.pack_ordering(get_ordering(algorithm)(graph, **kwargs)),
+        refresh=refresh,
+    )
+    return ser.unpack_ordering(arrays)
+
+
+def cached_partition(
+    graph: Graph,
+    num_partitions: int,
+    *,
+    ordering: str | None = None,
+    cache: ArtifactCache | bool | None = None,
+    refresh: bool = False,
+    **ordering_kwargs,
+):
+    """Build (or replay) a :class:`PartitionedGraph` of ``graph``.
+
+    ``ordering=None`` partitions the graph as-is with Algorithm 1's scan;
+    an ordering name first reorders the graph (``"vebo"`` partitions at
+    VEBO's own boundaries, the paper's Figure 2 pipeline).
+    """
+    from repro.partition.algorithm1 import partition_by_destination
+
+    def build():
+        if ordering is None:
+            pg = partition_by_destination(graph, num_partitions)
+        else:
+            kwargs = dict(ordering_kwargs)
+            if ordering == "vebo":
+                kwargs.setdefault("num_partitions", num_partitions)
+            result = get_ordering(ordering)(graph, **kwargs)
+            reordered = apply_ordering(graph, result)
+            boundaries = result.meta.get("boundaries") if ordering == "vebo" else None
+            if boundaries is not None and boundaries.size != num_partitions + 1:
+                boundaries = None
+            pg = partition_by_destination(reordered, num_partitions, boundaries=boundaries)
+        return pg
+
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return build()
+    payload = {
+        **_graph_key_payload(graph),
+        "num_partitions": int(num_partitions),
+        "ordering": ordering,
+        "kwargs": ordering_kwargs,
+    }
+    key = artifact_key("partition", payload)
+    arrays, _hit = resolved.get_or_build(
+        "partition", key, lambda: ser.pack_partition(build()), refresh=refresh
+    )
+    return ser.unpack_partition(arrays)
+
+
+def cached_edge_order(
+    graph: Graph,
+    order: str,
+    *,
+    cache: ArtifactCache | bool | None = None,
+    refresh: bool = False,
+    **kwargs,
+) -> EdgeOrderResult:
+    """Produce (or replay) the COO edge list of ``graph`` in ``order``."""
+    from repro.edgeorder.orders import order_edges
+
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return order_edges(graph, order, **kwargs)
+    payload = {**_graph_key_payload(graph), "order": order, "kwargs": kwargs}
+    key = artifact_key("edgeorder", payload)
+    arrays, _hit = resolved.get_or_build(
+        "edgeorder",
+        key,
+        lambda: ser.pack_edge_order(order_edges(graph, order, **kwargs)),
+        refresh=refresh,
+    )
+    return ser.unpack_edge_order(arrays)

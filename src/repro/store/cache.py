@@ -1,0 +1,282 @@
+"""Content-addressed on-disk artifact cache.
+
+Building the evaluation graphs, running VEBO, and producing Hilbert edge
+orders dominate the wall-clock cost of the benchmark harness — the paper's
+own Figure 1 measures partitioning alone at a large fraction of end-to-end
+runtime.  All of those artifacts are deterministic functions of (a) a
+dataset/graph identity and (b) the build parameters, so they are perfect
+candidates for a content-addressed cache: the cache *key* is a SHA-256
+digest over a canonical JSON encoding of the identifying payload, and the
+cache *value* is an ``.npz`` bundle of numpy arrays (see
+:mod:`repro.store.serialization`).
+
+Layout on disk::
+
+    <root>/
+        graph/<40-hex-key>.npz
+        ordering/<40-hex-key>.npz
+        partition/<40-hex-key>.npz
+        edgeorder/<40-hex-key>.npz
+
+Every bundle embeds a magic marker (``__repro_cache__``) so
+:meth:`ArtifactCache.clean` can prove a file is cache-owned before deleting
+it; foreign files inside the cache root are never touched.
+
+Configuration
+-------------
+``REPRO_CACHE_DIR``
+    Overrides the default cache root
+    (``$XDG_CACHE_HOME/repro-vebo`` or ``~/.cache/repro-vebo``).
+``REPRO_CACHE_OFF``
+    Any non-empty value disables caching globally: :func:`resolve_cache`
+    returns ``None`` and all cache-aware call sites fall back to building
+    from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import CacheError
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactCache",
+    "artifact_key",
+    "array_fingerprint",
+    "default_cache",
+    "default_cache_root",
+    "resolve_cache",
+]
+
+#: Marker array name stored inside every cache-owned npz bundle.
+MAGIC_FIELD = "__repro_cache__"
+#: Marker value; bump the suffix when the bundle layout changes.
+MAGIC_VALUE = "repro-artifact-v1"
+
+#: The artifact families the cache knows how to segregate on disk.
+ARTIFACT_KINDS = ("graph", "ordering", "partition", "edgeorder")
+
+_KEY_HEX_CHARS = 40  # truncated SHA-256; 160 bits is ample for a local cache
+
+
+def _canonical(value):
+    """Recursively convert ``value`` into something ``json.dumps`` renders
+    deterministically (numpy scalars -> python scalars, tuples -> lists)."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return {"__array_sha256__": array_fingerprint(value)}
+    if isinstance(value, Path):
+        return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CacheError(f"cannot build a cache key from {type(value).__name__!r}")
+
+
+def artifact_key(kind: str, payload: dict) -> str:
+    """Digest the identifying payload of one artifact into a hex key.
+
+    Two payloads produce the same key iff their canonical JSON encodings
+    match — so changing any build parameter (scale, seed, partition count,
+    algorithm, source-file digest, ...) changes the key.
+    """
+    blob = json.dumps(
+        {"kind": kind, "payload": _canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:_KEY_HEX_CHARS]
+
+
+def array_fingerprint(*arrays: np.ndarray) -> str:
+    """SHA-256 over the dtype/shape/bytes of one or more arrays.
+
+    This is what makes derived artifacts (orderings, partitions, edge
+    orders) *content*-addressed: they key on the actual graph arrays, so a
+    cached VEBO run can never be replayed against a different graph.
+    """
+    h = hashlib.sha256()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()[:_KEY_HEX_CHARS]
+
+
+def default_cache_root() -> Path:
+    """The cache root honouring ``REPRO_CACHE_DIR`` and XDG conventions."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-vebo"
+
+
+class ArtifactCache:
+    """A directory of content-addressed ``.npz`` artifact bundles."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> Path:
+        if kind not in ARTIFACT_KINDS:
+            raise CacheError(f"unknown artifact kind {kind!r}; use one of {ARTIFACT_KINDS}")
+        return self.root / kind / f"{key}.npz"
+
+    def has(self, kind: str, key: str) -> bool:
+        return self.path_for(kind, key).is_file()
+
+    # ------------------------------------------------------------------
+    def load(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        """Return the bundle's arrays, or ``None`` on a cache miss.
+
+        A file that exists but cannot be parsed (truncated write from a
+        crashed process, foreign file at the right path) is treated as a
+        miss and removed, so a corrupt entry can never wedge the cache.
+        """
+        path = self.path_for(kind, key)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError, KeyError):
+            path.unlink(missing_ok=True)
+            return None
+        if str(arrays.get(MAGIC_FIELD, "")) != MAGIC_VALUE:
+            # Right name, wrong provenance: do not trust, do not delete.
+            return None
+        arrays.pop(MAGIC_FIELD, None)
+        return arrays
+
+    def store(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
+        """Atomically persist a bundle (write-to-temp, then rename)."""
+        if MAGIC_FIELD in arrays:
+            raise CacheError(f"array name {MAGIC_FIELD!r} is reserved")
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(
+                    fh, **arrays, **{MAGIC_FIELD: np.array(MAGIC_VALUE)}
+                )
+            os.replace(tmp, path)
+        except OSError as exc:
+            Path(tmp).unlink(missing_ok=True)
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        return path
+
+    def get_or_build(
+        self,
+        kind: str,
+        key: str,
+        build: Callable[[], dict[str, np.ndarray]],
+        refresh: bool = False,
+    ) -> tuple[dict[str, np.ndarray], bool]:
+        """Return ``(arrays, hit)``; on a miss run ``build`` and persist."""
+        if not refresh:
+            cached = self.load(kind, key)
+            if cached is not None:
+                return cached, True
+        arrays = build()
+        self.store(kind, key, arrays)
+        return arrays, False
+
+    # ------------------------------------------------------------------
+    def _owned_files(self, kinds: Iterable[str]) -> list[Path]:
+        owned = []
+        for kind in kinds:
+            folder = self.root / kind
+            if not folder.is_dir():
+                continue
+            for path in sorted(folder.glob("*.npz")):
+                try:
+                    with np.load(path, allow_pickle=False) as data:
+                        is_ours = (
+                            MAGIC_FIELD in data.files
+                            and str(data[MAGIC_FIELD]) == MAGIC_VALUE
+                        )
+                except (OSError, ValueError):
+                    is_ours = False
+                if is_ours:
+                    owned.append(path)
+        return owned
+
+    def clean(self, kind: str | None = None) -> list[Path]:
+        """Delete cache-owned bundles; return the paths removed.
+
+        Only files carrying the embedded magic marker are deleted —
+        anything else found under the cache root (a user's own npz, a
+        stray download) is left alone.
+        """
+        kinds = (kind,) if kind is not None else ARTIFACT_KINDS
+        for k in kinds:
+            if k not in ARTIFACT_KINDS:
+                raise CacheError(f"unknown artifact kind {k!r}; use one of {ARTIFACT_KINDS}")
+        removed = []
+        for path in self._owned_files(kinds):
+            path.unlink()
+            removed.append(path)
+        return removed
+
+    def entries(self) -> list[tuple[str, str, int]]:
+        """``(kind, key, size_bytes)`` for every cache-owned bundle."""
+        out = []
+        for path in self._owned_files(ARTIFACT_KINDS):
+            out.append((path.parent.name, path.stem, path.stat().st_size))
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(size for _, _, size in self.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactCache(root={str(self.root)!r})"
+
+
+_default: ArtifactCache | None = None
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache at :func:`default_cache_root`.
+
+    Re-resolves the root when ``REPRO_CACHE_DIR`` changes (tests point it
+    at temporary directories).
+    """
+    global _default
+    root = default_cache_root()
+    if _default is None or _default.root != root:
+        _default = ArtifactCache(root)
+    return _default
+
+
+def resolve_cache(cache: "ArtifactCache | bool | None") -> ArtifactCache | None:
+    """Normalize the ``cache=`` argument convention used across the library.
+
+    * ``ArtifactCache`` instance — use it as given;
+    * ``None`` or ``True`` — use :func:`default_cache` unless the
+      ``REPRO_CACHE_OFF`` environment variable is set;
+    * ``False`` — caching disabled, always build from scratch.
+    """
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        if os.environ.get("REPRO_CACHE_OFF"):
+            return None
+        return default_cache()
+    return cache

@@ -1,0 +1,217 @@
+"""Dataset registry: one namespace for every graph source.
+
+Experiments reference graphs by *name* + *build parameters*; the registry
+resolves the name to a :class:`DatasetSpec` that knows how to build the
+graph and how to describe itself for cache keying:
+
+* **Generated** specs wrap the stand-in generators of
+  :mod:`repro.graph.datasets` (Table I's eight graphs) — their identity is
+  the (name, scale, seed) triple, because the generators are deterministic.
+* **File-backed** specs wrap an on-disk edge-list / adjacency / npz file —
+  their identity includes a content digest of the file, so editing the
+  file invalidates every cached artifact derived from it.
+
+The eight paper stand-ins are registered at import; projects add their own
+with :func:`register_dataset` / :func:`register_file_dataset`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph import datasets as standins
+from repro.graph.csr import Graph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "register_dataset",
+    "register_file_dataset",
+    "get_dataset",
+    "available_datasets",
+    "file_digest",
+]
+
+
+def file_digest(path: str | Path, _chunk: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's bytes (used in file-backed cache keys)."""
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as fh:
+            while True:
+                block = fh.read(_chunk)
+                if not block:
+                    break
+                h.update(block)
+    except OSError as exc:
+        raise DatasetError(f"cannot digest dataset file {path}: {exc}") from exc
+    return h.hexdigest()[:40]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named, parameterizable graph source.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    description:
+        One line for ``datasets list``.
+    builder:
+        ``(**params) -> Graph``; must be deterministic in its parameters.
+    defaults:
+        Parameter defaults; the accepted parameter set is exactly
+        ``defaults.keys()`` — unknown parameters are rejected up front so a
+        typo cannot silently produce a fresh cache key.
+    source:
+        ``"generated"`` or ``"file"``.
+    fingerprint_extra:
+        Optional callable contributing volatile identity (e.g. the source
+        file digest) to :meth:`cache_payload`.
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., Graph]
+    defaults: dict = field(default_factory=dict)
+    source: str = "generated"
+    fingerprint_extra: Callable[[], dict] | None = None
+
+    def resolve_params(self, **params) -> dict:
+        unknown = set(params) - set(self.defaults)
+        if unknown:
+            raise DatasetError(
+                f"dataset {self.name!r} does not accept parameter(s) "
+                f"{sorted(unknown)}; accepted: {sorted(self.defaults)}"
+            )
+        merged = dict(self.defaults)
+        merged.update(params)
+        return merged
+
+    def build(self, **params) -> Graph:
+        """Build the graph (no caching — see :func:`repro.store.load_graph`)."""
+        return self.builder(**self.resolve_params(**params))
+
+    def cache_payload(self, **params) -> dict:
+        """The identity dict hashed into this dataset's cache key."""
+        payload = {
+            "dataset": self.name,
+            "source": self.source,
+            "params": self.resolve_params(**params),
+        }
+        if self.fingerprint_extra is not None:
+            payload["extra"] = self.fingerprint_extra()
+        return payload
+
+
+#: name -> spec; mutated only via the register functions below.
+DATASET_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def register_dataset(
+    name: str,
+    builder: Callable[..., Graph],
+    *,
+    description: str = "",
+    defaults: dict | None = None,
+    source: str = "generated",
+    fingerprint_extra: Callable[[], dict] | None = None,
+    replace: bool = False,
+) -> DatasetSpec:
+    """Register a graph source under ``name`` and return its spec."""
+    if not replace and name in DATASET_REGISTRY:
+        raise DatasetError(f"dataset {name!r} already registered")
+    spec = DatasetSpec(
+        name=name,
+        description=description,
+        builder=builder,
+        defaults=dict(defaults or {}),
+        source=source,
+        fingerprint_extra=fingerprint_extra,
+    )
+    DATASET_REGISTRY[name] = spec
+    return spec
+
+
+def register_file_dataset(
+    name: str,
+    path: str | Path,
+    fmt: str = "edgelist",
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> DatasetSpec:
+    """Register an on-disk graph file as a named dataset.
+
+    ``fmt`` selects the parser: ``"edgelist"`` (SNAP text, read in
+    streaming chunks), ``"adjacency"`` (Ligra text) or ``"npz"`` (this
+    library's binary format).  The cache key embeds a digest of the file
+    contents, so stale cache entries are impossible.
+    """
+    path = Path(path)
+    if fmt == "edgelist":
+        from repro.store.chunked import read_edge_list_chunked as parse
+    elif fmt == "adjacency":
+        from repro.graph.io import read_adjacency_graph as parse
+    elif fmt == "npz":
+        from repro.graph.io import load_npz as parse_npz
+
+        def parse(p, name=None):  # signature harmonizer
+            g = parse_npz(p)
+            return Graph(csr=g.csr, csc=g.csc, name=name or g.name)
+    else:
+        raise DatasetError(
+            f"unknown dataset format {fmt!r}; use 'edgelist', 'adjacency' or 'npz'"
+        )
+
+    def build() -> Graph:
+        return parse(path, name=name)
+
+    return register_dataset(
+        name,
+        build,
+        description=description or f"{fmt} file {path}",
+        defaults={},
+        source="file",
+        fingerprint_extra=lambda: {"file_sha256": file_digest(path)},
+        replace=replace,
+    )
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    try:
+        return DATASET_REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; registered: {', '.join(sorted(DATASET_REGISTRY))}"
+        ) from None
+
+
+def available_datasets() -> list[str]:
+    """Registered dataset names, paper stand-ins first, extras sorted after."""
+    builtin = [n for n in standins.DEFAULT_SUITE if n in DATASET_REGISTRY]
+    extras = sorted(set(DATASET_REGISTRY) - set(builtin))
+    return builtin + extras
+
+
+def _register_standins() -> None:
+    for name, spec in standins.STANDIN_SPECS.items():
+        def builder(scale: float = 1.0, seed: int = 12345, _name=name) -> Graph:
+            return standins.load(_name, scale=scale, seed=seed)
+
+        register_dataset(
+            name,
+            builder,
+            description=f"{spec.paper_name} stand-in: {spec.description}",
+            defaults={"scale": 1.0, "seed": 12345},
+            source="generated",
+            replace=True,
+        )
+
+
+_register_standins()

@@ -1,0 +1,212 @@
+"""Lossless ``.npz`` bundle encoding for cacheable artifacts.
+
+One artifact == one flat ``dict[str, np.ndarray]`` suitable for
+``np.savez_compressed``.  Scalar metadata (names, algorithm labels,
+timings, non-array ordering diagnostics) rides along in a single JSON
+string array under ``"meta_json"`` so bundles stay ``allow_pickle=False``
+safe.  Four artifact families are supported, mirroring the cache kinds:
+
+=============  ======================================  =====================
+kind           packs                                   unpacks to
+=============  ======================================  =====================
+``graph``      CSR offsets + adjacency + name          :class:`Graph`
+``ordering``   permutation + meta + timing             :class:`OrderingResult`
+``partition``  graph + boundaries                      :class:`PartitionedGraph`
+``edgeorder``  COO src/dst + order name + timing       :class:`EdgeOrderResult`
+=============  ======================================  =====================
+
+Round-trips are bit-identical: the CSR/CSC builders canonicalize edge
+order (sorted within each adjacency group), so rebuilding the CSC view
+from the stored CSR pairs reproduces the original arrays exactly — the
+property the cache tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import CacheError
+from repro.graph.coo import COOEdges
+from repro.graph.csr import CSRMatrix, Graph
+
+__all__ = [
+    "graph_fingerprint",
+    "pack_graph",
+    "unpack_graph",
+    "pack_ordering",
+    "unpack_ordering",
+    "pack_partition",
+    "unpack_partition",
+    "pack_edge_order",
+    "unpack_edge_order",
+]
+
+
+def _meta_to_array(meta: dict) -> np.ndarray:
+    return np.array(json.dumps(meta, sort_keys=True))
+
+
+def _meta_from_arrays(arrays: dict) -> dict:
+    try:
+        return json.loads(str(arrays["meta_json"]))
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise CacheError(f"artifact bundle missing or corrupt meta_json: {exc}") from exc
+
+
+def _require(arrays: dict, *names: str) -> list[np.ndarray]:
+    try:
+        return [arrays[name] for name in names]
+    except KeyError as exc:
+        raise CacheError(f"artifact bundle missing array {exc}") from exc
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content digest of a graph's structure (CSR arrays).
+
+    The CSC view is fully determined by the CSR view, so hashing offsets +
+    adjacency identifies the graph.  The name is deliberately excluded:
+    renaming a graph must not invalidate derived artifacts.
+    """
+    from repro.store.cache import array_fingerprint
+
+    return array_fingerprint(graph.csr.offsets, graph.csr.adj)
+
+
+# ----------------------------------------------------------------------
+# graph
+# ----------------------------------------------------------------------
+
+def pack_graph(graph: Graph) -> dict[str, np.ndarray]:
+    """Both directional views are stored so unpacking skips the
+    O(m log m) CSR->CSC rebuild — the warm path is pure array validation."""
+    return {
+        "offsets": graph.csr.offsets,
+        "adj": graph.csr.adj,
+        "csc_offsets": graph.csc.offsets,
+        "csc_adj": graph.csc.adj,
+        "meta_json": _meta_to_array({"kind": "graph", "name": graph.name}),
+    }
+
+
+def unpack_graph(arrays: dict) -> Graph:
+    offsets, adj, csc_offsets, csc_adj = _require(
+        arrays, "offsets", "adj", "csc_offsets", "csc_adj"
+    )
+    meta = _meta_from_arrays(arrays)
+    return Graph(
+        csr=CSRMatrix(offsets=offsets, adj=adj),
+        csc=CSRMatrix(offsets=csc_offsets, adj=csc_adj),
+        name=meta.get("name", "graph"),
+    )
+
+
+# ----------------------------------------------------------------------
+# ordering
+# ----------------------------------------------------------------------
+
+def pack_ordering(result) -> dict[str, np.ndarray]:
+    """Pack an :class:`repro.ordering.base.OrderingResult`.
+
+    Array-valued meta entries (VEBO's boundaries / counts / assignment)
+    become ``meta.<key>`` arrays; JSON-representable scalars go into the
+    meta blob; anything else is dropped with no way to round-trip, which
+    no built-in ordering produces.
+    """
+    arrays: dict[str, np.ndarray] = {"perm": result.perm}
+    scalars: dict = {}
+    for key, value in result.meta.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"meta.{key}"] = value
+        elif isinstance(value, (bool, int, float, str)) or value is None:
+            scalars[key] = value
+        elif isinstance(value, np.generic):
+            scalars[key] = value.item()
+    arrays["meta_json"] = _meta_to_array(
+        {
+            "kind": "ordering",
+            "algorithm": result.algorithm,
+            "seconds": float(result.seconds),
+            "scalars": scalars,
+        }
+    )
+    return arrays
+
+
+def unpack_ordering(arrays: dict):
+    from repro.ordering.base import OrderingResult
+
+    (perm,) = _require(arrays, "perm")
+    meta_blob = _meta_from_arrays(arrays)
+    meta = dict(meta_blob.get("scalars", {}))
+    for name, value in arrays.items():
+        if name.startswith("meta."):
+            meta[name[len("meta."):]] = value
+    return OrderingResult(
+        perm=perm,
+        algorithm=meta_blob.get("algorithm", "unknown"),
+        seconds=float(meta_blob.get("seconds", 0.0)),
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# partition
+# ----------------------------------------------------------------------
+
+def pack_partition(pg) -> dict[str, np.ndarray]:
+    """Pack a :class:`repro.partition.partitioned.PartitionedGraph`."""
+    arrays = pack_graph(pg.graph)
+    arrays["boundaries"] = pg.boundaries
+    arrays["meta_json"] = _meta_to_array(
+        {"kind": "partition", "name": pg.graph.name}
+    )
+    return arrays
+
+
+def unpack_partition(arrays: dict):
+    from repro.partition.partitioned import PartitionedGraph
+
+    (boundaries,) = _require(arrays, "boundaries")
+    graph = unpack_graph(arrays)
+    return PartitionedGraph(graph=graph, boundaries=boundaries)
+
+
+# ----------------------------------------------------------------------
+# edge order
+# ----------------------------------------------------------------------
+
+def pack_edge_order(result) -> dict[str, np.ndarray]:
+    """Pack an :class:`repro.edgeorder.orders.EdgeOrderResult`."""
+    coo = result.coo
+    return {
+        "src": coo.src,
+        "dst": coo.dst,
+        "meta_json": _meta_to_array(
+            {
+                "kind": "edgeorder",
+                "num_vertices": int(coo.num_vertices),
+                "order_name": coo.order_name,
+                "order": result.order,
+                "seconds": float(result.seconds),
+            }
+        ),
+    }
+
+
+def unpack_edge_order(arrays: dict):
+    from repro.edgeorder.orders import EdgeOrderResult
+
+    src, dst = _require(arrays, "src", "dst")
+    meta = _meta_from_arrays(arrays)
+    coo = COOEdges(
+        src=src,
+        dst=dst,
+        num_vertices=int(meta["num_vertices"]),
+        order_name=meta.get("order_name", "unspecified"),
+    )
+    return EdgeOrderResult(
+        coo=coo, order=meta.get("order", coo.order_name),
+        seconds=float(meta.get("seconds", 0.0)),
+    )

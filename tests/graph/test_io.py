@@ -112,3 +112,50 @@ class TestNpz:
         g2 = load_npz(path)
         assert np.array_equal(g2.csr.adj, small_grid.csr.adj)
         assert g2.name == small_grid.name
+
+
+class TestTypedErrors:
+    """Every reader failure surfaces as the library's GraphFormatError,
+    never a bare OSError / UnicodeDecodeError / ValueError."""
+
+    def test_edge_list_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            read_edge_list(tmp_path / "nope.txt")
+
+    def test_adjacency_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            read_adjacency_graph(tmp_path / "nope.adj")
+
+    def test_edge_list_non_ascii(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_bytes(b"0 1\n\xff\xfe 2\n")
+        with pytest.raises(GraphFormatError, match="ASCII"):
+            read_edge_list(p)
+
+    def test_adjacency_non_ascii(self, tmp_path):
+        p = tmp_path / "bad.adj"
+        p.write_bytes(b"AdjacencyGraph\n\xc3\xa9\n")
+        with pytest.raises(GraphFormatError, match="ASCII"):
+            read_adjacency_graph(p)
+
+    def test_edge_list_error_names_line(self, tmp_path):
+        p = tmp_path / "m.txt"
+        p.write_text("# header\n0 1\n2\n")
+        with pytest.raises(GraphFormatError, match=r"m\.txt:3"):
+            read_edge_list(p)
+
+    def test_edge_list_huge_integer_rejected(self, tmp_path):
+        p = tmp_path / "h.txt"
+        p.write_text(f"0 {2**70}\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_load_npz_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_load_npz_garbage_file(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        p.write_bytes(b"this is not a zip archive")
+        with pytest.raises(GraphFormatError):
+            load_npz(p)

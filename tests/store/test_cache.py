@@ -1,0 +1,220 @@
+"""Artifact cache: keying, round-trips, ownership-aware cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheError
+from repro.graph import generators as gen
+from repro.ordering import get_ordering
+from repro.partition.algorithm1 import partition_by_destination
+from repro.partition.partitioned import PartitionedGraph
+from repro.edgeorder.orders import order_edges
+from repro.store import serialization as ser
+from repro.store.cache import (
+    ArtifactCache,
+    artifact_key,
+    array_fingerprint,
+    default_cache,
+    resolve_cache,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_deterministic(self):
+        payload = {"dataset": "twitter", "params": {"scale": 0.5, "seed": 1}}
+        assert artifact_key("graph", payload) == artifact_key("graph", dict(payload))
+
+    def test_changes_with_any_parameter(self):
+        base = {"dataset": "twitter", "params": {"scale": 0.5, "seed": 1}}
+        k0 = artifact_key("graph", base)
+        assert artifact_key("graph", {**base, "params": {"scale": 0.6, "seed": 1}}) != k0
+        assert artifact_key("graph", {**base, "params": {"scale": 0.5, "seed": 2}}) != k0
+        assert artifact_key("graph", {**base, "dataset": "orkut"}) != k0
+        assert artifact_key("ordering", base) != k0  # kind is part of the key
+
+    def test_key_order_insensitive(self):
+        assert artifact_key("graph", {"a": 1, "b": 2}) == artifact_key(
+            "graph", {"b": 2, "a": 1}
+        )
+
+    def test_rejects_unhashable_payload(self):
+        with pytest.raises(CacheError):
+            artifact_key("graph", {"fn": object()})
+
+    def test_array_fingerprint_sensitive_to_content_and_dtype(self):
+        a = np.arange(10, dtype=np.int64)
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+        b = a.copy()
+        b[3] = 99
+        assert array_fingerprint(a) != array_fingerprint(b)
+        assert array_fingerprint(a) != array_fingerprint(a.astype(np.int32))
+
+
+class TestBundleRoundTrips:
+    """A saved artifact loads back bit-identical."""
+
+    def _store_load(self, cache, kind, arrays):
+        cache.store(kind, "k" * 40, arrays)
+        out = cache.load(kind, "k" * 40)
+        assert out is not None
+        return out
+
+    def test_graph_bit_identical(self, cache, small_social):
+        out = ser.unpack_graph(
+            self._store_load(cache, "graph", ser.pack_graph(small_social))
+        )
+        assert np.array_equal(out.csr.offsets, small_social.csr.offsets)
+        assert np.array_equal(out.csr.adj, small_social.csr.adj)
+        assert np.array_equal(out.csc.offsets, small_social.csc.offsets)
+        assert np.array_equal(out.csc.adj, small_social.csc.adj)
+        assert out.name == small_social.name
+
+    def test_ordering_bit_identical(self, cache, small_social):
+        result = get_ordering("vebo")(small_social, num_partitions=16)
+        out = ser.unpack_ordering(
+            self._store_load(cache, "ordering", ser.pack_ordering(result))
+        )
+        assert np.array_equal(out.perm, result.perm)
+        assert out.algorithm == result.algorithm
+        assert out.seconds == pytest.approx(result.seconds)
+        assert set(out.meta) == set(result.meta)
+        for key, value in result.meta.items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(out.meta[key], value), key
+            else:
+                assert out.meta[key] == value, key
+
+    def test_partition_bit_identical(self, cache, small_social):
+        pg = partition_by_destination(small_social, 8)
+        out = ser.unpack_partition(
+            self._store_load(cache, "partition", ser.pack_partition(pg))
+        )
+        assert np.array_equal(out.boundaries, pg.boundaries)
+        assert np.array_equal(out.graph.csr.adj, pg.graph.csr.adj)
+        assert np.array_equal(out.graph.csc.adj, pg.graph.csc.adj)
+
+    def test_edge_order_bit_identical(self, cache, small_social):
+        result = order_edges(small_social, "hilbert")
+        out = ser.unpack_edge_order(
+            self._store_load(cache, "edgeorder", ser.pack_edge_order(result))
+        )
+        assert np.array_equal(out.coo.src, result.coo.src)
+        assert np.array_equal(out.coo.dst, result.coo.dst)
+        assert out.coo.num_vertices == result.coo.num_vertices
+        assert out.coo.order_name == "hilbert"
+        assert out.seconds == pytest.approx(result.seconds)
+
+    def test_partitioned_graph_save_load_npz(self, tmp_path, small_grid):
+        pg = partition_by_destination(small_grid, 4)
+        path = tmp_path / "pg.npz"
+        pg.save_npz(path)
+        out = PartitionedGraph.load_npz(path)
+        assert np.array_equal(out.boundaries, pg.boundaries)
+        assert np.array_equal(out.graph.csr.adj, pg.graph.csr.adj)
+
+
+class TestCacheBehaviour:
+    def test_miss_returns_none(self, cache):
+        assert cache.load("graph", "0" * 40) is None
+
+    def test_get_or_build_hits_second_time(self, cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": np.arange(4)}
+
+        _, hit0 = cache.get_or_build("graph", "a" * 40, build)
+        _, hit1 = cache.get_or_build("graph", "a" * 40, build)
+        assert (hit0, hit1) == (False, True)
+        assert len(calls) == 1
+
+    def test_refresh_rebuilds(self, cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": np.arange(4)}
+
+        cache.get_or_build("graph", "a" * 40, build)
+        cache.get_or_build("graph", "a" * 40, build, refresh=True)
+        assert len(calls) == 2
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        path = cache.path_for("graph", "b" * 40)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"truncated garbage")
+        assert cache.load("graph", "b" * 40) is None
+        assert not path.exists()
+
+    def test_unknown_kind_rejected(self, cache):
+        with pytest.raises(CacheError):
+            cache.path_for("nonsense", "a" * 40)
+        with pytest.raises(CacheError):
+            cache.clean(kind="nonsense")
+
+    def test_reserved_array_name_rejected(self, cache):
+        with pytest.raises(CacheError):
+            cache.store("graph", "c" * 40, {"__repro_cache__": np.arange(2)})
+
+
+class TestClean:
+    def test_clean_removes_only_cache_owned_files(self, cache):
+        cache.store("graph", "a" * 40, {"x": np.arange(3)})
+        cache.store("ordering", "b" * 40, {"y": np.arange(3)})
+        # Foreign files inside the cache tree must survive a clean.
+        foreign_npz = cache.root / "graph" / "users_own.npz"
+        np.savez(foreign_npz, data=np.arange(5))
+        notes = cache.root / "graph" / "notes.txt"
+        notes.write_text("do not delete")
+        removed = cache.clean()
+        assert len(removed) == 2
+        assert foreign_npz.exists()
+        assert notes.exists()
+        assert cache.load("graph", "a" * 40) is None
+
+    def test_clean_by_kind(self, cache):
+        cache.store("graph", "a" * 40, {"x": np.arange(3)})
+        cache.store("ordering", "b" * 40, {"y": np.arange(3)})
+        removed = cache.clean(kind="ordering")
+        assert len(removed) == 1
+        assert cache.load("graph", "a" * 40) is not None
+
+    def test_entries_and_size(self, cache):
+        assert cache.entries() == []
+        cache.store("graph", "a" * 40, {"x": np.arange(3)})
+        entries = cache.entries()
+        assert [(k, key) for k, key, _ in entries] == [("graph", "a" * 40)]
+        assert cache.size_bytes() > 0
+
+
+class TestResolveCache:
+    def test_false_disables(self):
+        assert resolve_cache(False) is None
+
+    def test_explicit_instance_passthrough(self, cache):
+        assert resolve_cache(cache) is cache
+
+    def test_none_uses_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "root"))
+        monkeypatch.delenv("REPRO_CACHE_OFF", raising=False)
+        resolved = resolve_cache(None)
+        assert resolved is not None
+        assert resolved.root == tmp_path / "root"
+        assert resolve_cache(True) is resolved
+
+    def test_cache_off_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_OFF", "1")
+        assert resolve_cache(None) is None
+        assert resolve_cache(True) is None
+
+    def test_default_cache_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        assert default_cache().root == tmp_path / "a"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        assert default_cache().root == tmp_path / "b"

@@ -1,0 +1,96 @@
+"""Chunked edge-list ingestion: equivalence with the one-shot reader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators as gen
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.store.chunked import (
+    iter_edge_chunks,
+    read_edge_list_chunked,
+)
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("chunk_lines", [1, 7, 100, 1 << 19])
+    def test_matches_one_shot_reader(self, tmp_path, chunk_lines):
+        g = gen.zipf_powerlaw_graph(300, s=1.2, max_degree=30, seed=4, name="g")
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        chunked = read_edge_list_chunked(path, chunk_lines=chunk_lines)
+        oneshot = read_edge_list(path)
+        assert chunked.csr == oneshot.csr
+        assert chunked.csc == oneshot.csc
+        assert chunked.num_vertices == g.num_vertices
+
+    def test_streaming_yields_multiple_chunks(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(10)))
+        chunks = list(iter_edge_chunks(path, chunk_lines=3))
+        assert len(chunks) == 4  # 3 + 3 + 3 + 1
+        total = sum(src.size for src, _, _ in chunks)
+        assert total == 10
+
+    def test_nodes_hint_propagates(self, tmp_path):
+        path = tmp_path / "h.txt"
+        path.write_text("# Nodes: 50 Edges: 1\n0 1\n")
+        g = read_edge_list_chunked(path)
+        assert g.num_vertices == 50
+
+    def test_hint_only_file(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# Nodes: 7 Edges: 0\n")
+        g = read_edge_list_chunked(path)
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+
+    def test_explicit_num_vertices_wins(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("# Nodes: 50 Edges: 1\n0 1\n")
+        g = read_edge_list_chunked(path, num_vertices=5)
+        assert g.num_vertices == 5
+
+
+class TestChunkedErrors:
+    def test_malformed_line_reports_lineno_across_chunks(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        lines = [f"{i} {i + 1}" for i in range(6)]
+        lines.insert(4, "oops")  # becomes line 5
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(GraphFormatError, match=r"bad\.txt:5"):
+            read_edge_list_chunked(path, chunk_lines=2)
+
+    def test_lineno_correct_with_interleaved_comments(self, tmp_path):
+        path = tmp_path / "mix.txt"
+        path.write_text("0 1\n1 2\n# comment\n\nbadline\n")
+        with pytest.raises(GraphFormatError, match=r"mix\.txt:5"):
+            read_edge_list_chunked(path)
+
+    def test_lineno_correct_after_blank_lines(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("0 1\n\n\n5\n")
+        with pytest.raises(GraphFormatError, match=r"blank\.txt:4"):
+            read_edge_list_chunked(path)
+
+    def test_single_token_line(self, tmp_path):
+        path = tmp_path / "st.txt"
+        path.write_text("0 1\n42\n")
+        with pytest.raises(GraphFormatError, match="expected 'src dst'"):
+            read_edge_list_chunked(path)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        path = tmp_path / "ni.txt"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list_chunked(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            list(iter_edge_chunks(tmp_path / "gone.txt"))
+
+    def test_non_positive_chunk_rejected(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="positive"):
+            list(iter_edge_chunks(path, chunk_lines=0))

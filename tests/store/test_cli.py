@@ -1,0 +1,136 @@
+"""CLI: datasets subcommands and the legacy reorder interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import generators as gen
+from repro.graph.io import read_adjacency_graph, write_adjacency_graph
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    monkeypatch.delenv("REPRO_CACHE_OFF", raising=False)
+    return root
+
+
+class TestDatasetsCommands:
+    def test_list_names_all_registered(self, cache_dir, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("twitter", "friendster", "usaroad", "rmat"):
+            assert name in out
+        assert str(cache_dir) in out
+
+    def test_build_populates_cache_and_clean_empties_it(self, cache_dir, capsys):
+        assert main(["datasets", "build", "usaroad", "--scale", "0.05"]) == 0
+        bundles = list(cache_dir.rglob("*.npz"))
+        assert len(bundles) == 1
+        assert main(["datasets", "clean"]) == 0
+        assert list(cache_dir.rglob("*.npz")) == []
+        out = capsys.readouterr().out
+        assert "removed 1 artifact" in out
+
+    def test_build_with_partition_and_edge_order(self, cache_dir, capsys):
+        code = main([
+            "datasets", "build", "usaroad", "--scale", "0.05",
+            "-p", "8", "--edge-order", "csr",
+        ])
+        assert code == 0
+        kinds = {p.parent.name for p in cache_dir.rglob("*.npz")}
+        assert kinds == {"graph", "partition", "edgeorder"}
+
+    def test_build_custom_dataset_without_scale_seed_params(self, cache_dir, capsys):
+        from repro.graph import generators as gen
+        from repro.store.registry import DATASET_REGISTRY, register_dataset
+
+        DATASET_REGISTRY.pop("_test_chain", None)
+        try:
+            register_dataset(
+                "_test_chain", lambda n=8: gen.chain_graph(n), defaults={"n": 8}
+            )
+            assert main(["datasets", "build", "_test_chain"]) == 0
+            assert "_test_chain: n=8" in capsys.readouterr().out
+        finally:
+            DATASET_REGISTRY.pop("_test_chain", None)
+
+    def test_list_does_not_digest_file_datasets(self, cache_dir, tmp_path, capsys, monkeypatch):
+        from repro.store import registry
+        from repro.store.registry import DATASET_REGISTRY, register_file_dataset
+
+        path = tmp_path / "big.txt"
+        path.write_text("0 1\n")
+        DATASET_REGISTRY.pop("_test_big", None)
+        try:
+            register_file_dataset("_test_big", path)
+
+            def boom(*a, **k):  # pragma: no cover - must not be reached
+                raise AssertionError("list must not hash dataset files")
+
+            monkeypatch.setattr(registry, "file_digest", boom)
+            assert main(["datasets", "list"]) == 0
+            out = capsys.readouterr().out
+            assert "_test_big" in out
+        finally:
+            DATASET_REGISTRY.pop("_test_big", None)
+
+    def test_build_unknown_dataset_fails_cleanly(self, cache_dir, capsys):
+        assert main(["datasets", "build", "no-such-graph"]) == 1
+        assert "no-such-graph" in capsys.readouterr().err
+
+    def test_clean_spares_foreign_files(self, cache_dir, capsys):
+        main(["datasets", "build", "usaroad", "--scale", "0.05"])
+        foreign = cache_dir / "graph" / "mine.npz"
+        np.savez(foreign, x=np.arange(3))
+        main(["datasets", "clean"])
+        assert foreign.exists()
+
+    def test_no_cache_flag_builds_nothing_on_disk(self, cache_dir, capsys):
+        assert main(["datasets", "build", "usaroad", "--scale", "0.05", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_cache_dir_flag_overrides_env(self, tmp_path, cache_dir, capsys):
+        other = tmp_path / "other"
+        assert main([
+            "datasets", "build", "usaroad", "--scale", "0.05",
+            "--cache-dir", str(other),
+        ]) == 0
+        assert list(other.rglob("*.npz"))
+        assert not cache_dir.exists()
+
+
+class TestLegacyReorder:
+    def _write_graph(self, tmp_path):
+        g = gen.zipf_powerlaw_graph(120, s=1.1, max_degree=12, seed=2, name="g")
+        path = tmp_path / "in.adj"
+        write_adjacency_graph(g, path)
+        return g, path
+
+    def test_subcommandless_invocation_still_works(self, tmp_path, capsys):
+        g, inp = self._write_graph(tmp_path)
+        out = tmp_path / "out.adj"
+        assert main([str(inp), str(out), "-p", "8", "-q"]) == 0
+        reordered = read_adjacency_graph(out)
+        assert reordered.num_edges == g.num_edges
+
+    def test_options_before_positionals(self, tmp_path, capsys):
+        g, inp = self._write_graph(tmp_path)
+        out = tmp_path / "out.adj"
+        assert main(["-p", "8", "-q", str(inp), str(out)]) == 0
+        assert out.exists()
+
+    def test_explicit_reorder_subcommand(self, tmp_path, capsys):
+        g, inp = self._write_graph(tmp_path)
+        out = tmp_path / "out.adj"
+        assert main(["reorder", str(inp), str(out), "-p", "8"]) == 0
+        report = capsys.readouterr().out
+        assert "edge balance" in report
+
+    def test_help_epilog_documents_cache_env_vars(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "REPRO_CACHE_DIR" in out
+        assert "REPRO_CACHE_OFF" in out
