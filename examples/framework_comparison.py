@@ -7,25 +7,58 @@ algorithm traces are priced under the three framework personalities
 GraphGrind: static across sockets, dynamic within), for each of four
 vertex orderings.  Statically scheduled systems reward VEBO's balance the
 most, which is Section V-A's headline.
+
+The sweep runs through the parallel resumable orchestrator
+(:mod:`repro.experiments.sweep`): cells fan out over ``--jobs`` worker
+processes and every completed cell is persisted to a results store, so
+rerunning this script (or interrupting and restarting it) replays
+finished cells from disk instead of recomputing them.  Equivalent CLI::
+
+    python -m repro.cli sweep run --graphs twitter --scale 0.4 \\
+        --algorithms PR,BFS,PRD,BF --orderings original,rcm,random,vebo \\
+        --jobs 4 --out framework_comparison.jsonl --resume
+    python -m repro.cli sweep report --out framework_comparison.jsonl
 """
 
+import argparse
+
 from repro import store
-from repro.experiments import run_sweep
-from repro.metrics import format_table, geometric_mean
+from repro.experiments import run_matrix
+from repro.metrics import format_table, ordering_speedups
 
 GRAPH = "twitter"
+SCALE = 0.4
 ALGOS = ["PR", "BFS", "PRD", "BF"]
 ORDERINGS = ["original", "rcm", "random", "vebo"]
 FRAMEWORKS = ["ligra", "polymer", "graphgrind"]
 
 
 def main() -> None:
-    graph = store.load_graph(GRAPH, scale=0.4)
-    print(f"graph: {graph.name}, n={graph.num_vertices:,}, m={graph.num_edges:,}")
-    print("running the sweep (3 frameworks x 4 orderings x 4 algorithms)...")
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-j", "--jobs", type=int, default=2,
+                    help="worker processes (default: 2)")
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="results store (default: <cache root>/results/"
+                    "framework_comparison.jsonl)")
+    args = ap.parse_args()
 
-    results = run_sweep(
-        graph, ALGOS, FRAMEWORKS, ORDERINGS, PR={"num_iterations": 5}
+    cache = store.resolve_cache(None)
+    out = args.out
+    if out is None and cache is not None:
+        out = cache.root / "results" / "framework_comparison.jsonl"
+
+    graph = store.load_graph(GRAPH, scale=SCALE)
+    print(f"graph: {graph.name}, n={graph.num_vertices:,}, m={graph.num_edges:,}")
+    print(f"running the sweep (3 frameworks x 4 orderings x 4 algorithms, "
+          f"jobs={args.jobs}, store={out})...")
+
+    results = run_matrix(
+        [GRAPH], ALGOS, FRAMEWORKS, ORDERINGS,
+        params={"scale": SCALE},
+        algo_kwargs={"PR": {"num_iterations": 5}},
+        jobs=args.jobs,
+        store=out,
+        cache=cache if cache is not None else False,
     )
     by = {(r.framework, r.algorithm, r.ordering): r.seconds for r in results}
 
@@ -49,11 +82,8 @@ def main() -> None:
     print(format_table(rows))
 
     print("\ngeomean VEBO speedup per framework (paper: 1.09 / 1.41 / 1.65):")
-    for fw in FRAMEWORKS:
-        gm = geometric_mean(
-            by[(fw, a, "original")] / by[(fw, a, "vebo")] for a in ALGOS
-        )
-        print(f"  {fw:11s} {gm:.2f}x")
+    for fw, gain in ordering_speedups(results).items():
+        print(f"  {fw:11s} {gain:.2f}x")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Command-line interface: reordering plus dataset/cache management.
+"""Command-line interface: reordering, dataset/cache and sweep management.
 
 ``vebo-reorder reorder`` mirrors the paper artifact's interface::
 
@@ -17,6 +17,15 @@ artifact cache::
     vebo-reorder datasets list
     vebo-reorder datasets build twitter --scale 0.5 --partitions 384
     vebo-reorder datasets clean
+
+``vebo-reorder sweep`` drives the parallel, resumable Table III sweep
+(:mod:`repro.experiments.sweep`) against a persistent results store::
+
+    vebo-reorder sweep run --graphs twitter,livejournal --jobs 4 \\
+        --out results.jsonl
+    vebo-reorder sweep run --jobs 4 --out results.jsonl --resume
+    vebo-reorder sweep status --out results.jsonl
+    vebo-reorder sweep report --out results.jsonl
 """
 
 from __future__ import annotations
@@ -133,7 +142,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(dclean)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run/inspect the parallel resumable Table III sweep",
+        epilog=_CACHE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ssub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    srun = ssub.add_parser(
+        "run", help="execute the sweep matrix (process pool + results store)"
+    )
+    _add_matrix_flags(srun)
+    srun.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = run inline, no pool; default: 1)",
+    )
+    srun.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present in the results store instead of "
+        "refusing to reuse a non-empty --out file",
+    )
+    _add_sweep_out_flag(srun)
+    _add_cache_flags(srun)
+
+    sstatus = ssub.add_parser(
+        "status", help="show completed/pending cells of a sweep matrix"
+    )
+    _add_matrix_flags(sstatus)
+    _add_sweep_out_flag(sstatus)
+    _add_cache_flags(sstatus)
+
+    sreport = ssub.add_parser(
+        "report", help="rebuild the runtime matrix + headline speedups from disk"
+    )
+    _add_sweep_out_flag(sreport)
+    sreport.add_argument(
+        "--baseline", default="original", metavar="ORDERING",
+        help="speedup baseline ordering (default: original)",
+    )
+    sreport.add_argument(
+        "--target", default="vebo", metavar="ORDERING",
+        help="speedup target ordering (default: vebo)",
+    )
+    _add_cache_flags(sreport)
+
     return parser
+
+
+def _add_sweep_out_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="results store (JSONL); default: <cache root>/results/sweep.jsonl",
+    )
+
+
+def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--graphs", default=None, metavar="A,B,...",
+        help="dataset names (default: every registered dataset)",
+    )
+    parser.add_argument(
+        "--algorithms", default="PR,BFS", metavar="A,B,...",
+        help="algorithm names (default: PR,BFS)",
+    )
+    parser.add_argument(
+        "--frameworks", default="ligra,polymer,graphgrind", metavar="A,B,...",
+        help="framework personalities (default: all three)",
+    )
+    parser.add_argument(
+        "--orderings", default="original,vebo", metavar="A,B,...",
+        help="vertex orderings (default: original,vebo)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="generator size multiplier")
+    parser.add_argument("--seed", type=int, default=12345, help="generator seed")
+    parser.add_argument(
+        "--iterations", type=int, default=5, metavar="N",
+        help="iteration cap for fixed-iteration algorithms PR/BP (default: 5)",
+    )
 
 
 def _add_reorder_args(parser: argparse.ArgumentParser) -> None:
@@ -275,6 +361,169 @@ def _cmd_datasets_build(args) -> int:
     return status
 
 
+def _sweep_cells_from_args(args):
+    """Expand the CLI matrix flags into sweep cells (per-dataset params
+    filtered to what each spec accepts, as ``datasets build`` does)."""
+    from repro import store
+    from repro.experiments import expand_matrix
+
+    graphs = (
+        [g for g in args.graphs.split(",") if g]
+        if args.graphs
+        else store.available_datasets()
+    )
+    algorithms = [a for a in args.algorithms.split(",") if a]
+    frameworks = [f for f in args.frameworks.split(",") if f]
+    orderings = [o for o in args.orderings.split(",") if o]
+    algo_kwargs = {
+        a: {"num_iterations": args.iterations}
+        for a in algorithms
+        if a in ("PR", "BP")
+    }
+    cells = []
+    for name in graphs:
+        spec = store.get_dataset(name)
+        params = {
+            k: v
+            for k, v in (("scale", args.scale), ("seed", args.seed))
+            if k in spec.defaults
+        }
+        cells.extend(
+            expand_matrix(
+                [name], algorithms, frameworks, orderings,
+                params=params, algo_kwargs=algo_kwargs,
+            )
+        )
+    return cells
+
+
+def _resolve_sweep_out(args, cache):
+    from pathlib import Path
+
+    from repro.errors import ResultsError
+
+    if args.out:
+        return Path(args.out)
+    if cache is not None:
+        return cache.root / "results" / "sweep.jsonl"
+    raise ResultsError(
+        "no results store: pass --out FILE (the cache is disabled, so there "
+        "is no default location)"
+    )
+
+
+def _cmd_sweep_run(args) -> int:
+    from repro.experiments import ResultsStore, run_cells
+
+    cache = _resolve_cli_cache(args)
+    out = _resolve_sweep_out(args, cache)
+    store = ResultsStore(out)
+    existing = len(store)
+    if existing and not args.resume:
+        print(
+            f"error: results store {out} already holds {existing} cell(s); "
+            "pass --resume to skip completed cells, or choose a fresh --out",
+            file=sys.stderr,
+        )
+        return 1
+    cells = _sweep_cells_from_args(args)
+    total = len(cells)
+    print(f"sweep: {total} cell(s) -> {out}  (jobs={args.jobs})")
+    if args.resume and existing:
+        print(f"resume: {existing} cell(s) already in the store")
+    counts = {"done": 0, "skipped": 0}
+
+    def progress(cell, result, skipped):
+        counts["skipped" if skipped else "done"] += 1
+        tag = "cached" if skipped else f"{result.seconds:.4g}s"
+        n = counts["done"] + counts["skipped"]
+        print(f"[{n}/{total}] {cell.label()}: {tag}")
+
+    t0 = time.perf_counter()
+    run_cells(
+        cells,
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+        cache=cache if cache is not None else False,
+        progress=progress,
+    )
+    print(
+        f"sweep complete: {counts['done']} computed, {counts['skipped']} "
+        f"resumed from store, {time.perf_counter() - t0:.3f}s"
+    )
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    from repro.experiments import ResultsStore
+
+    cache = _resolve_cli_cache(args)
+    out = _resolve_sweep_out(args, cache)
+    stored = ResultsStore(out).keys()
+    cells = _sweep_cells_from_args(args)
+    per_graph: dict[str, list[int]] = {}
+    completed = 0
+    for cell in cells:
+        done = cell.key() in stored
+        completed += done
+        bucket = per_graph.setdefault(cell.dataset, [0, 0])
+        bucket[0] += done
+        bucket[1] += 1
+    print(f"results store: {out}  ({len(stored)} record(s))")
+    print(f"matrix: {len(cells)} cell(s); completed {completed}, "
+          f"pending {len(cells) - completed}")
+    for name, (done, total) in per_graph.items():
+        print(f"  {name:<14} {done}/{total}")
+    return 0
+
+
+def _cmd_sweep_report(args) -> int:
+    import json
+
+    from repro.errors import ResultsError
+    from repro.experiments import ResultsStore
+    from repro.metrics import format_matrix, ordering_speedups, runtime_matrix
+    from repro.ordering import ORDERING_REGISTRY
+
+    for name in (args.baseline, args.target):
+        if name not in ORDERING_REGISTRY:
+            raise ResultsError(
+                f"unknown ordering {name!r}; registered: "
+                f"{', '.join(sorted(ORDERING_REGISTRY))}"
+            )
+    cache = _resolve_cli_cache(args)
+    out = _resolve_sweep_out(args, cache)
+    entries = ResultsStore(out).entries()
+    if not entries:
+        print(f"results store {out} holds no results", file=sys.stderr)
+        return 1
+    # One store may accumulate sweeps over different datasets/scales whose
+    # graphs share names; group by the recorded cell metadata so a report
+    # never averages a scale-0.5 baseline against a scale-1.0 target.
+    groups: dict[str | None, list] = {}
+    for _key, meta, result in entries:
+        tag = json.dumps(meta, sort_keys=True) if meta else None
+        groups.setdefault(tag, []).append(result)
+    print(f"results store: {out}  ({len(entries)} cell(s))")
+    for tag, results in groups.items():
+        print()
+        if len(groups) > 1:
+            print(f"-- sweep group: {tag or '(no metadata)'} --")
+        print(format_matrix(runtime_matrix(results), row_label="graph/algo/framework"))
+        gains = ordering_speedups(results, baseline=args.baseline, target=args.target)
+        if gains:
+            print()
+            print(f"geomean {args.target} speedup over {args.baseline}:")
+            for fw, gain in gains.items():
+                print(f"  {fw:<12} {gain:.2f}x")
+        else:
+            print(
+                f"(no {args.baseline} vs {args.target} pairs in these results)"
+            )
+    return 0
+
+
 def _cmd_datasets_clean(args) -> int:
     cache = _resolve_cli_cache(args)
     if cache is None:
@@ -285,7 +534,7 @@ def _cmd_datasets_clean(args) -> int:
     return 0
 
 
-_SUBCOMMANDS = ("reorder", "datasets")
+_SUBCOMMANDS = ("reorder", "datasets", "sweep")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -303,6 +552,13 @@ def main(argv: list[str] | None = None) -> int:
                 "build": _cmd_datasets_build,
                 "clean": _cmd_datasets_clean,
             }[args.datasets_command]
+            return handler(args)
+        if args.command == "sweep":
+            handler = {
+                "run": _cmd_sweep_run,
+                "status": _cmd_sweep_status,
+                "report": _cmd_sweep_report,
+            }[args.sweep_command]
             return handler(args)
         if args.command == "reorder":
             return _cmd_reorder(args)

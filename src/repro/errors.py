@@ -36,6 +36,10 @@ class CacheError(ReproError):
     """An on-disk artifact cache operation failed or found corrupt data."""
 
 
+class ResultsError(ReproError):
+    """A persistent experiment-results store operation is invalid."""
+
+
 class TheoremPreconditionError(ReproError):
     """A theorem-checking helper was invoked outside its preconditions."""
 

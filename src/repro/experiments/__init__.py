@@ -1,5 +1,14 @@
-"""Experiment orchestration: configuration runner and sweeps."""
+"""Experiment orchestration: configuration runner, sweeps and results.
 
+* :mod:`repro.experiments.runner` — one (graph, ordering, framework,
+  algorithm) cell end to end, plus the serial ``run_sweep`` inner loop;
+* :mod:`repro.experiments.sweep` — the parallel, resumable orchestrator
+  that fans the full matrix out over a process pool;
+* :mod:`repro.experiments.results` — the append-only on-disk results
+  store that makes sweeps resumable and tables rebuildable from disk.
+"""
+
+from repro.experiments.results import ResultsStore, result_cell_key
 from repro.experiments.runner import (
     ExperimentResult,
     PreparedGraph,
@@ -7,5 +16,23 @@ from repro.experiments.runner import (
     run,
     run_sweep,
 )
+from repro.experiments.sweep import (
+    SweepCell,
+    expand_matrix,
+    run_cells,
+    run_matrix,
+)
 
-__all__ = ["ExperimentResult", "PreparedGraph", "prepare", "run", "run_sweep"]
+__all__ = [
+    "ExperimentResult",
+    "PreparedGraph",
+    "ResultsStore",
+    "SweepCell",
+    "expand_matrix",
+    "prepare",
+    "result_cell_key",
+    "run",
+    "run_cells",
+    "run_matrix",
+    "run_sweep",
+]

@@ -1,0 +1,195 @@
+"""Persistent experiment-results store: append-only JSONL keyed by content.
+
+The artifact cache (:mod:`repro.store.cache`) makes *inputs* — graphs,
+orderings, partitions — replayable across processes.  This module does the
+same for *outputs*: every :class:`~repro.experiments.runner.ExperimentResult`
+is one line of JSON in an append-only ``.jsonl`` file, tagged with a cell
+key computed by the same canonical content-hash scheme the artifact cache
+uses (:func:`repro.store.cache.artifact_key` over a sorted-JSON payload).
+
+Two properties fall out of that design:
+
+* **Resumability** — an interrupted or re-invoked sweep reads the store,
+  skips every cell whose key is already present, and computes only the
+  rest.  A line truncated by a crash mid-write fails to parse and is
+  simply recomputed; nothing before it is lost.
+* **Replayability** — ``metrics.tables`` (and the ``sweep report`` CLI)
+  rebuild every table from disk without re-running anything, because the
+  serialization round-trip is lossless (floats survive bit-identically
+  through JSON's shortest-exact ``repr`` rendering).
+
+The store has a single writer (the sweep orchestrator in the parent
+process); workers return serializable results and never touch the file,
+so lines can never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ReproError, ResultsError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["RESULTS_KEY_VERSION", "ResultsStore", "result_cell_key"]
+
+#: Version component of every cell key.  The key otherwise hashes only the
+#: cell's *inputs* (dataset, params, algorithm, framework, ordering), so a
+#: change to the pricing model itself would replay stale results forever —
+#: bump this whenever the cost model / personalities / engine accounting
+#: change what a cell's numbers mean, and every store invalidates at once.
+RESULTS_KEY_VERSION = 1
+
+
+def result_cell_key(
+    dataset: str,
+    algorithm: str,
+    framework: str,
+    ordering: str,
+    params: dict | None = None,
+    algo_kwargs: dict | None = None,
+) -> str:
+    """Content-hash key of one sweep cell.
+
+    Uses the artifact cache's canonical scheme (``kind="result"``), so the
+    key changes iff any identifying input changes: the dataset and its
+    build parameters (scale, seed, ...), the algorithm and its kwargs, the
+    framework, the ordering — or :data:`RESULTS_KEY_VERSION`.
+    """
+    from repro.store.cache import artifact_key
+
+    return artifact_key(
+        "result",
+        {
+            "version": RESULTS_KEY_VERSION,
+            "dataset": dataset,
+            "params": dict(params or {}),
+            "algorithm": algorithm,
+            "framework": framework,
+            "ordering": ordering,
+            "algo_kwargs": dict(algo_kwargs or {}),
+        },
+    )
+
+
+class ResultsStore:
+    """An append-only JSONL sink of keyed :class:`ExperimentResult` lines.
+
+    Each line is ``{"key": <40-hex cell key>, "result": {...}}``.  Reads
+    are tolerant: unparsable lines (a write truncated by a kill, a foreign
+    line) are skipped, and a duplicated key keeps its first occurrence —
+    append-only means the first write is the completed computation.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._cache: tuple[tuple[int, int], list] | None = None
+        self._tail_clean = False  # this process has verified/written the tail
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, result: ExperimentResult, meta: dict | None = None) -> None:
+        """Persist one completed cell (atomic at line granularity).
+
+        The line is written in a single buffered call and flushed, so a
+        crash can only ever truncate the *final* line — which the tolerant
+        reader treats as "cell not done".  ``meta`` rides along untouched
+        (the orchestrator records the cell's dataset + build params so
+        reports can tell heterogeneous sweeps apart).
+        """
+        payload = {"key": str(key), "result": result.to_dict()}
+        if meta is not None:
+            payload["meta"] = meta
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            # A previous writer killed mid-write leaves a final line with
+            # no trailing newline; appending directly would glue this
+            # record onto the partial bytes and lose *both*.  Close the
+            # orphan line first (once per store instance — our own appends
+            # always terminate their line).
+            needs_newline = False
+            if not self._tail_clean:
+                try:
+                    with open(self.path, "rb") as fh:
+                        fh.seek(-1, os.SEEK_END)
+                        needs_newline = fh.read(1) != b"\n"
+                except (OSError, ValueError):
+                    pass  # missing or empty file
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(("\n" if needs_newline else "") + line + "\n")
+                fh.flush()
+            self._tail_clean = True
+        except OSError as exc:
+            raise ResultsError(f"cannot append to results store {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _iter_valid(self) -> Iterator[tuple[str, dict | None, ExperimentResult]]:
+        if not self.path.is_file():
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise ResultsError(f"cannot read results store {self.path}: {exc}") from exc
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                key = str(payload["key"])
+                meta = payload.get("meta")
+                result = ExperimentResult.from_dict(payload["result"])
+            except (json.JSONDecodeError, KeyError, TypeError, ReproError):
+                # truncated / foreign / schema-mismatched line: not-done
+                continue
+            yield key, meta, result
+
+    def entries(self) -> list[tuple[str, dict | None, ExperimentResult]]:
+        """``(key, meta, result)`` for every valid line, first key wins.
+
+        Parses are memoized against the file's (mtime_ns, size) stat
+        signature, so repeated queries (``len``, ``keys``, resume scans)
+        re-read the file only after it actually changed.
+        """
+        try:
+            st = self.path.stat()
+            sig = (st.st_mtime_ns, st.st_size)
+        except OSError:
+            sig = (-1, -1)
+        if self._cache is not None and self._cache[0] == sig:
+            return list(self._cache[1])
+        out: list[tuple[str, dict | None, ExperimentResult]] = []
+        seen: set[str] = set()
+        for key, meta, result in self._iter_valid():
+            if key not in seen:
+                seen.add(key)
+                out.append((key, meta, result))
+        self._cache = (sig, out)
+        return list(out)
+
+    def records(self) -> dict[str, ExperimentResult]:
+        """``{key: result}`` for every valid line, first occurrence wins."""
+        return {key: result for key, _, result in self.entries()}
+
+    def keys(self) -> set[str]:
+        return {key for key, _, _ in self.entries()}
+
+    def load(self) -> list[ExperimentResult]:
+        """All stored results in file order (deduplicated by key)."""
+        return [result for _, _, result in self.entries()]
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.records()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultsStore(path={str(self.path)!r})"

@@ -19,7 +19,6 @@ Results carry both the estimate and enough metadata to build every table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
@@ -64,6 +63,38 @@ class ExperimentResult:
     iterations: int
     ordering_seconds: float
     estimate: RuntimeEstimate
+
+    def to_dict(self) -> dict:
+        """JSON-representable encoding (lossless; see
+        :meth:`RuntimeEstimate.to_dict`)."""
+        return {
+            "graph": self.graph,
+            "algorithm": self.algorithm,
+            "framework": self.framework,
+            "ordering": self.ordering,
+            "seconds": float(self.seconds),
+            "iterations": int(self.iterations),
+            "ordering_seconds": float(self.ordering_seconds),
+            "estimate": self.estimate.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        from repro.errors import ResultsError
+
+        try:
+            return cls(
+                graph=str(data["graph"]),
+                algorithm=str(data["algorithm"]),
+                framework=str(data["framework"]),
+                ordering=str(data["ordering"]),
+                seconds=float(data["seconds"]),
+                iterations=int(data["iterations"]),
+                ordering_seconds=float(data["ordering_seconds"]),
+                estimate=RuntimeEstimate.from_dict(data["estimate"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultsError(f"malformed ExperimentResult payload: {exc}") from exc
 
 
 def _edge_order_for(framework: str, ordering: str) -> str:
@@ -218,9 +249,12 @@ def run_sweep(
     additionally persists each ordering via :mod:`repro.store`, so a
     repeated sweep (or another process) skips the reordering entirely."""
     results: list[ExperimentResult] = []
+    # One prepared graph per (ordering, partition count) across *all*
+    # frameworks: Ligra and GraphGrind share default_partitions=384, so a
+    # per-framework cache would reorder each graph twice for nothing.
+    prepared_cache: dict[tuple[str, int], PreparedGraph] = {}
     for fw_name in frameworks:
         fw = FRAMEWORKS[fw_name]
-        prepared_cache: dict[tuple[str, int], PreparedGraph] = {}
         for ordering in orderings:
             key = (ordering, fw.default_partitions)
             if key not in prepared_cache:

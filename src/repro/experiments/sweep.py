@@ -1,0 +1,333 @@
+"""Parallel, resumable sweep orchestrator for the Table III matrix.
+
+``run_sweep`` (:mod:`repro.experiments.runner`) is the serial inner loop:
+one graph, in-process, all-or-nothing.  This module scales it out:
+
+* the full (graph, algorithm, framework, ordering) matrix is expanded
+  into :class:`SweepCell`\\ s, each identified by the same canonical
+  content-hash key the artifact cache uses;
+* cells fan out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  — each worker loads its graph and ordering *warm* through
+  :mod:`repro.store`, prices the cell, and returns a serializable
+  :class:`~repro.experiments.runner.ExperimentResult`;
+* the parent (the single writer) appends every completed cell to a
+  :class:`~repro.experiments.results.ResultsStore` the moment it arrives,
+  so an interrupted sweep loses at most the in-flight cells and a
+  re-invocation with ``resume=True`` skips everything already persisted.
+
+Workers recompute nothing semantic: pricing is deterministic, so every
+modeled field of a cell (``seconds``, ``iterations``, the per-iteration
+estimate) computed by any worker, any process, any day is byte-identical
+to the serial path — the equivalence the test suite pins down.  The one
+wall-clock field, ``ordering_seconds``, is byte-stable only when a shared
+artifact cache replays the recorded ordering; cache-less runs re-measure
+it per process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ResultsError
+from repro.experiments.results import ResultsStore, result_cell_key
+from repro.experiments.runner import ExperimentResult, PreparedGraph, prepare, run
+
+__all__ = ["SweepCell", "expand_matrix", "run_cells", "run_matrix"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the sweep matrix, addressable by dataset name.
+
+    Cells reference graphs through the :mod:`repro.store` registry (not as
+    in-memory objects) so they are cheap to pickle to workers and so the
+    cell key captures the *full* graph identity (dataset + build
+    parameters) rather than a Python object.
+    """
+
+    dataset: str
+    algorithm: str
+    framework: str
+    ordering: str
+    params: dict = field(default_factory=dict)       # dataset build params
+    algo_kwargs: dict = field(default_factory=dict)  # per-algorithm kwargs
+
+    def key(self) -> str:
+        return result_cell_key(
+            self.dataset,
+            self.algorithm,
+            self.framework,
+            self.ordering,
+            params=self.params,
+            algo_kwargs=self.algo_kwargs,
+        )
+
+    def label(self) -> str:
+        return f"{self.dataset}/{self.framework}/{self.ordering}/{self.algorithm}"
+
+
+def expand_matrix(
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    frameworks: Sequence[str],
+    orderings: Sequence[str],
+    params: dict | None = None,
+    algo_kwargs: dict | None = None,
+) -> list[SweepCell]:
+    """Expand a matrix into cells in the serial ``run_sweep`` order
+    (per dataset: framework -> ordering -> algorithm), so a returned
+    result list lines up element-for-element with the serial path.
+
+    ``params`` applies to every dataset; ``algo_kwargs`` maps algorithm
+    name -> kwargs (the ``run_sweep`` convention, e.g.
+    ``{"PR": {"num_iterations": 5}}``).
+
+    Algorithm, framework and ordering names are validated here, before
+    any cell is keyed or dispatched — a typo must fail the whole sweep
+    up front, not a worker mid-run.
+    """
+    from repro.algorithms import ALGORITHMS
+    from repro.frameworks.personality import FRAMEWORKS
+    from repro.ordering import ORDERING_REGISTRY
+    from repro.store import DATASET_REGISTRY
+
+    for names, registry, what in (
+        (datasets, DATASET_REGISTRY, "dataset"),
+        (algorithms, ALGORITHMS, "algorithm"),
+        (frameworks, FRAMEWORKS, "framework"),
+        (orderings, ORDERING_REGISTRY, "ordering"),
+    ):
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            raise ResultsError(
+                f"unknown {what}(s) {unknown}; available: {sorted(registry)}"
+            )
+    params = dict(params or {})
+    algo_kwargs = dict(algo_kwargs or {})
+    return [
+        SweepCell(
+            dataset=d,
+            algorithm=a,
+            framework=f,
+            ordering=o,
+            params=params,
+            algo_kwargs=dict(algo_kwargs.get(a, {})),
+        )
+        for d in datasets
+        for f in frameworks
+        for o in orderings
+        for a in algorithms
+    ]
+
+
+# ----------------------------------------------------------------------
+# cell execution (runs in workers for jobs > 1, inline for jobs == 1)
+# ----------------------------------------------------------------------
+
+def _compute_cell(
+    cell: SweepCell,
+    cache,
+    graphs: dict,
+    prepared: dict,
+) -> ExperimentResult:
+    """Price one cell, memoizing the graph and prepared ordering.
+
+    ``graphs``/``prepared`` are caller-owned memo dicts: per-process
+    globals in pool workers, per-call locals in the inline path.  Memory
+    stays bounded to *one* graph plus its prepared orderings: entries for
+    other graphs are evicted on a dataset switch (the dispatch queue is
+    sorted by dataset precisely so switches are rare, and the artifact
+    cache keeps any re-load warm)."""
+    from repro import store
+    from repro.frameworks.personality import FRAMEWORKS
+
+    gkey = (cell.dataset, tuple(sorted(cell.params.items())))
+    for memo in (graphs, prepared):
+        for stale in [k for k in memo if (k[0], k[1]) != gkey]:
+            del memo[stale]
+    if gkey not in graphs:
+        graphs[gkey] = store.load_graph(cell.dataset, cache=cache, **cell.params)
+    graph = graphs[gkey]
+
+    fw = FRAMEWORKS[cell.framework]
+    pkey = (*gkey, cell.ordering, fw.default_partitions)
+    if pkey not in prepared:
+        prepared[pkey] = prepare(
+            graph, cell.ordering, fw.default_partitions, cache=cache
+        )
+    prep: PreparedGraph = prepared[pkey]
+    return run(
+        graph,
+        cell.algorithm,
+        fw,
+        ordering=cell.ordering,
+        prepared=prep,
+        **cell.algo_kwargs,
+    )
+
+
+# Per-worker-process memos: populated lazily, shared across every cell the
+# worker executes, discarded with the process.
+_WORKER_GRAPHS: dict = {}
+_WORKER_PREPARED: dict = {}
+
+
+def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
+    """Pool entry point: compute one cell, return its serialized result.
+
+    ``cache_root`` rather than a cache object crosses the process
+    boundary, keeping the task payload picklable under every start
+    method.  ``None`` means the orchestrator ran cache-less, so the
+    worker builds from scratch too."""
+    from repro.store import ArtifactCache
+
+    cache = ArtifactCache(cache_root) if cache_root is not None else False
+    result = _compute_cell(cell, cache, _WORKER_GRAPHS, _WORKER_PREPARED)
+    return result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+
+ProgressFn = Callable[[SweepCell, ExperimentResult, bool], None]
+
+
+def run_cells(
+    cells: Iterable[SweepCell],
+    *,
+    jobs: int = 1,
+    store: "ResultsStore | str | os.PathLike | None" = None,
+    resume: bool = True,
+    cache=None,
+    progress: ProgressFn | None = None,
+) -> list[ExperimentResult]:
+    """Execute ``cells``, returning results in the given cell order.
+
+    ``store`` (a :class:`ResultsStore` or a path) persists each completed
+    cell as it finishes; with ``resume=True`` cells whose key is already
+    present are *not* re-run — their stored results are returned in place.
+    ``jobs`` > 1 fans pending cells out over a process pool; ``jobs`` <= 1
+    runs inline (no pool, still through the identical cell code path).
+    ``cache`` is the usual artifact-cache convention
+    (:func:`repro.store.resolve_cache`); workers share it, so orderings
+    computed by one worker are warm for every other.
+    ``progress(cell, result, skipped)`` is invoked once per cell.
+    """
+    from repro.store import resolve_cache
+
+    cells = list(cells)
+    if isinstance(store, (str, os.PathLike)):
+        store = ResultsStore(store)
+
+    done: dict[str, ExperimentResult] = {}
+    if store is not None and resume:
+        done = store.records()
+
+    keyed = [(cell, cell.key()) for cell in cells]
+    results: dict[str, ExperimentResult] = {}
+    pending: list[tuple[SweepCell, str]] = []
+    seen: set[str] = set()
+    for cell, key in keyed:
+        if key in done:
+            results[key] = done[key]
+            if progress is not None:
+                progress(cell, done[key], True)
+        elif key not in seen:
+            seen.add(key)
+            pending.append((cell, key))
+
+    resolved = resolve_cache(cache)
+    cache_root = str(resolved.root) if resolved is not None else None
+
+    def record(cell: SweepCell, key: str, result: ExperimentResult) -> None:
+        results[key] = result
+        if store is not None:
+            store.append(
+                key, result, meta={"dataset": cell.dataset, "params": cell.params}
+            )
+        if progress is not None:
+            progress(cell, result, False)
+
+    if jobs <= 1 or len(pending) <= 1:
+        graphs: dict = {}
+        prepared: dict = {}
+        cache_arg = resolved if resolved is not None else False
+        for cell, key in pending:
+            record(cell, key, _compute_cell(cell, cache_arg, graphs, prepared))
+    else:
+        # Sort the dispatch queue so cells sharing a (graph, ordering) land
+        # contiguously — workers pulling neighbouring tasks reuse their
+        # per-process prepared-graph memos instead of reordering again.
+        queue = sorted(
+            pending, key=lambda ck: (ck[0].dataset, ck[0].ordering, ck[0].framework)
+        )
+        failure: tuple[SweepCell, BaseException] | None = None
+        with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
+            futures = {
+                pool.submit(_worker_run_cell, cell, cache_root): (cell, key)
+                for cell, key in queue
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                # Persist the moment each cell lands: an interruption now
+                # costs only the cells still in flight.  A failed cell must
+                # not discard its siblings' work — cancel what has not
+                # started, keep draining and persisting what has, and
+                # raise only once everything that finished is on disk.
+                for fut in finished:
+                    cell, key = futures[fut]
+                    try:
+                        payload = fut.result()
+                    except BaseException as exc:  # worker died or raised
+                        if failure is None:
+                            failure = (cell, exc)
+                            for f in outstanding:
+                                f.cancel()
+                        continue
+                    record(cell, key, ExperimentResult.from_dict(payload))
+                outstanding = {f for f in outstanding if not f.cancelled()}
+        if failure is not None:
+            cell, exc = failure
+            raise ResultsError(
+                f"sweep cell {cell.label()} failed: {exc} "
+                f"({len(results)} completed cell(s) were persisted)"
+            ) from exc
+
+    missing = [cell.label() for cell, key in keyed if key not in results]
+    if missing:  # pragma: no cover - defensive; pool errors raise above
+        raise ResultsError(f"sweep finished with uncomputed cells: {missing}")
+    return [results[key] for _, key in keyed]
+
+
+def run_matrix(
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    frameworks: Sequence[str],
+    orderings: Sequence[str],
+    *,
+    params: dict | None = None,
+    algo_kwargs: dict | None = None,
+    jobs: int = 1,
+    store: "ResultsStore | str | os.PathLike | None" = None,
+    resume: bool = True,
+    cache=None,
+    progress: ProgressFn | None = None,
+) -> list[ExperimentResult]:
+    """Expand a full matrix and execute it (see :func:`run_cells`).
+
+    This is the parallel, persistent, resumable counterpart of calling
+    :func:`repro.experiments.run_sweep` once per graph: the result list is
+    ordered exactly as the serial loops would produce it.
+    """
+    cells = expand_matrix(
+        datasets, algorithms, frameworks, orderings,
+        params=params, algo_kwargs=algo_kwargs,
+    )
+    return run_cells(
+        cells, jobs=jobs, store=store, resume=resume, cache=cache, progress=progress
+    )

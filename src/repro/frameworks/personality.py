@@ -66,6 +66,46 @@ class RuntimeEstimate:
     num_partitions: int
     details: dict = field(default_factory=dict, compare=False)
 
+    def to_dict(self) -> dict:
+        """JSON-representable encoding; :meth:`from_dict` inverts it.
+
+        The round-trip is lossless for everything the personalities emit:
+        ``json`` renders Python floats with ``repr`` (shortest exact
+        representation), so the total, the per-iteration array and the
+        scalar details survive bit-identically — which is what lets a
+        persisted sweep rebuild tables byte-identical to a fresh run.
+        Non-scalar ``details`` entries (arrays, nested dicts) are *not*
+        serialized; keep diagnostics that must survive persistence scalar.
+        """
+        return {
+            "seconds": float(self.seconds),
+            "per_iteration": [float(v) for v in self.per_iteration],
+            "framework": self.framework,
+            "algorithm": self.algorithm,
+            "graph_name": self.graph_name,
+            "num_partitions": int(self.num_partitions),
+            "details": {
+                str(k): (v.item() if isinstance(v, np.generic) else v)
+                for k, v in self.details.items()
+                if isinstance(v, (bool, int, float, str, np.generic)) or v is None
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuntimeEstimate":
+        try:
+            return cls(
+                seconds=float(data["seconds"]),
+                per_iteration=np.asarray(data["per_iteration"], dtype=np.float64),
+                framework=str(data["framework"]),
+                algorithm=str(data["algorithm"]),
+                graph_name=str(data["graph_name"]),
+                num_partitions=int(data["num_partitions"]),
+                details=dict(data.get("details", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed RuntimeEstimate payload: {exc}") from exc
+
 
 def measure_layout_locality(graph: Graph, sample_edges: int = 200_000) -> tuple[float, float]:
     """Measure (source-stream, destination-stream) miss fractions of the

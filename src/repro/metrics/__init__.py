@@ -1,5 +1,19 @@
 """Reporting helpers: tables, speedups, geometric means."""
 
-from repro.metrics.tables import format_matrix, format_table, geometric_mean, speedups
+from repro.metrics.tables import (
+    format_matrix,
+    format_table,
+    geometric_mean,
+    ordering_speedups,
+    runtime_matrix,
+    speedups,
+)
 
-__all__ = ["format_matrix", "format_table", "geometric_mean", "speedups"]
+__all__ = [
+    "format_matrix",
+    "format_table",
+    "geometric_mean",
+    "ordering_speedups",
+    "runtime_matrix",
+    "speedups",
+]

@@ -12,7 +12,14 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "geometric_mean", "speedups", "format_matrix"]
+__all__ = [
+    "format_table",
+    "geometric_mean",
+    "speedups",
+    "format_matrix",
+    "runtime_matrix",
+    "ordering_speedups",
+]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
@@ -60,6 +67,58 @@ def format_matrix(
             row[c] = float_fmt.format(v) if isinstance(v, float) else (v if v is not None else "")
         rows.append(row)
     return format_table(rows, [row_label, *columns])
+
+
+def runtime_matrix(
+    results: Iterable,
+    row_keys: Sequence[str] = ("graph", "algorithm", "framework"),
+    col_key: str = "ordering",
+) -> dict[str, dict[str, float]]:
+    """Rebuild a Table III-shaped matrix from experiment results.
+
+    ``results`` is any iterable of objects with ``graph`` / ``algorithm``
+    / ``framework`` / ``ordering`` / ``seconds`` attributes — live
+    :class:`~repro.experiments.runner.ExperimentResult` objects or ones
+    replayed from a :class:`~repro.experiments.results.ResultsStore`, so
+    every table can be rebuilt from disk without re-running anything.
+    Rows are keyed by the joined ``row_keys`` attributes, columns by
+    ``col_key``; render with :func:`format_matrix`.  Results from
+    heterogeneous sweeps (same graph names built at different params)
+    collide in rows — group them first, as the CLI's ``sweep report``
+    does via the store's per-cell metadata.
+    """
+    matrix: dict[str, dict[str, float]] = {}
+    for r in results:
+        row = "/".join(str(getattr(r, k)) for k in row_keys)
+        matrix.setdefault(row, {})[str(getattr(r, col_key))] = float(r.seconds)
+    return matrix
+
+
+def ordering_speedups(
+    results: Iterable,
+    baseline: str = "original",
+    target: str = "vebo",
+) -> dict[str, float]:
+    """Per-framework geomean speedup of ``target`` over ``baseline``
+    orderings — the Section V-A headline numbers, computable from a live
+    sweep or a replayed results store alike.  Cells missing either
+    ordering are skipped."""
+    by: dict[tuple, float] = {}
+    frameworks: list[str] = []
+    for r in results:
+        by[(r.framework, r.graph, r.algorithm, r.ordering)] = float(r.seconds)
+        if r.framework not in frameworks:
+            frameworks.append(r.framework)
+    out: dict[str, float] = {}
+    for fw in frameworks:
+        ratios = [
+            seconds / by[(fw, g, a, target)]
+            for (f, g, a, o), seconds in by.items()
+            if f == fw and o == baseline and (fw, g, a, target) in by
+        ]
+        if ratios:
+            out[fw] = geometric_mean(ratios)
+    return out
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -1,0 +1,186 @@
+"""Tests for the persistent results store and result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ResultsError
+from repro.experiments import (
+    ExperimentResult,
+    ResultsStore,
+    result_cell_key,
+    run,
+)
+from repro.frameworks.personality import RuntimeEstimate
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def g():
+    return gen.zipf_powerlaw_graph(
+        600, s=1.2, max_degree=25, zero_in_fraction=0.1,
+        degree_locality=0.5, neighbor_locality=0.4, source_skew=0.9,
+        seed=71, name="results",
+    )
+
+
+@pytest.fixture(scope="module")
+def result(g):
+    return run(g, "PR", "polymer", ordering="vebo", num_iterations=3)
+
+
+def assert_results_equal(a: ExperimentResult, b: ExperimentResult) -> None:
+    assert (a.graph, a.algorithm, a.framework, a.ordering) == (
+        b.graph, b.algorithm, b.framework, b.ordering
+    )
+    assert a.seconds == b.seconds
+    assert a.iterations == b.iterations
+    assert a.ordering_seconds == b.ordering_seconds
+    assert a.estimate.seconds == b.estimate.seconds
+    assert a.estimate.num_partitions == b.estimate.num_partitions
+    assert np.array_equal(a.estimate.per_iteration, b.estimate.per_iteration)
+
+
+class TestSerialization:
+    def test_estimate_round_trip_lossless(self, result):
+        est = result.estimate
+        back = RuntimeEstimate.from_dict(
+            json.loads(json.dumps(est.to_dict()))
+        )
+        assert back.seconds == est.seconds
+        assert np.array_equal(back.per_iteration, est.per_iteration)
+        assert back.per_iteration.dtype == est.per_iteration.dtype
+        assert (back.framework, back.algorithm, back.graph_name) == (
+            est.framework, est.algorithm, est.graph_name
+        )
+        assert back.num_partitions == est.num_partitions
+        for k, v in back.details.items():
+            assert est.details[k] == v
+
+    def test_result_round_trip_lossless(self, result):
+        back = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert_results_equal(result, back)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ResultsError):
+            ExperimentResult.from_dict({"graph": "x"})
+
+
+class TestCellKey:
+    def test_deterministic(self):
+        a = result_cell_key("twitter", "PR", "ligra", "vebo", params={"scale": 0.4})
+        b = result_cell_key("twitter", "PR", "ligra", "vebo", params={"scale": 0.4})
+        assert a == b and len(a) == 40
+
+    def test_sensitive_to_every_identity_field(self):
+        base = dict(
+            dataset="twitter", algorithm="PR", framework="ligra",
+            ordering="vebo", params={"scale": 0.4},
+            algo_kwargs={"num_iterations": 5},
+        )
+
+        def key(**over):
+            merged = {**base, **over}
+            return result_cell_key(
+                merged["dataset"], merged["algorithm"], merged["framework"],
+                merged["ordering"], params=merged["params"],
+                algo_kwargs=merged["algo_kwargs"],
+            )
+
+        reference = key()
+        assert key(dataset="orkut") != reference
+        assert key(algorithm="BFS") != reference
+        assert key(framework="polymer") != reference
+        assert key(ordering="rcm") != reference
+        assert key(params={"scale": 0.5}) != reference
+        assert key(algo_kwargs={"num_iterations": 6}) != reference
+
+
+class TestResultsStore:
+    def test_append_and_load(self, tmp_path, result):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        assert len(store) == 0
+        store.append("k1", result)
+        assert store.keys() == {"k1"}
+        assert "k1" in store
+        loaded = store.load()
+        assert len(loaded) == 1
+        assert_results_equal(result, loaded[0])
+
+    def test_append_only_first_key_wins(self, tmp_path, result):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append("k1", result)
+        store.append("k1", result)
+        assert len(store) == 1
+        # both lines are on disk — the store never rewrites history
+        assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 2
+
+    def test_truncated_final_line_is_skipped(self, tmp_path, result):
+        path = tmp_path / "r.jsonl"
+        store = ResultsStore(path)
+        store.append("k1", result)
+        store.append("k2", result)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # kill -9 mid-write
+        assert store.keys() == {"k1"}
+
+    def test_foreign_lines_are_skipped(self, tmp_path, result):
+        path = tmp_path / "r.jsonl"
+        path.write_text("not json at all\n{\"key\": \"k0\"}\n")
+        store = ResultsStore(path)
+        store.append("k1", result)
+        assert store.keys() == {"k1"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultsStore(tmp_path / "absent.jsonl")
+        assert store.keys() == set()
+        assert store.load() == []
+
+    def test_append_after_truncated_line_loses_only_that_cell(self, tmp_path, result):
+        """A kill mid-write must cost exactly the truncated cell: the next
+        append closes the orphan line instead of gluing onto it."""
+        path = tmp_path / "r.jsonl"
+        ResultsStore(path).append("k1", result)
+        text = path.read_text()
+        path.write_text(text[:-30])  # kill -9 mid-write: no newline
+        resumed = ResultsStore(path)  # the resuming process starts fresh
+        resumed.append("k2", result)
+        assert resumed.keys() == {"k2"}
+        resumed.append("k1", result)  # the resumed sweep recomputes k1
+        assert resumed.keys() == {"k1", "k2"}
+
+    def test_malformed_estimate_line_is_skipped_not_fatal(self, tmp_path, result):
+        """A JSON-valid line with a schema-mismatched estimate must be
+        treated as not-done, not crash every read of the store."""
+        path = tmp_path / "r.jsonl"
+        store = ResultsStore(path)
+        store.append("k1", result)
+        bad = json.dumps(
+            {"key": "k2", "result": {**result.to_dict(), "estimate": {"oops": 1}}}
+        )
+        with open(path, "a") as fh:
+            fh.write(bad + "\n")
+        assert store.keys() == {"k1"}
+
+    def test_entries_meta_round_trip(self, tmp_path, result):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        meta = {"dataset": "twitter", "params": {"scale": 0.4}}
+        store.append("k1", result, meta=meta)
+        store.append("k2", result)  # meta is optional
+        entries = store.entries()
+        assert [(k, m) for k, m, _ in entries] == [("k1", meta), ("k2", None)]
+
+    def test_records_cache_tracks_appends(self, tmp_path, result):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append("k1", result)
+        first = store.records()
+        assert set(first) == {"k1"}
+        store.append("k2", result)
+        assert set(store.records()) == {"k1", "k2"}
+        # the returned mapping is a copy; mutating it must not poison reads
+        snapshot = store.records()
+        snapshot.clear()
+        assert set(store.records()) == {"k1", "k2"}

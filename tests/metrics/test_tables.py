@@ -5,7 +5,57 @@ import math
 import numpy as np
 import pytest
 
-from repro.metrics import format_matrix, format_table, geometric_mean, speedups
+from repro.metrics import (
+    format_matrix,
+    format_table,
+    geometric_mean,
+    ordering_speedups,
+    runtime_matrix,
+    speedups,
+)
+
+
+class FakeResult:
+    """Anything with the five result attributes works — live
+    ExperimentResults and store-replayed ones alike."""
+
+    def __init__(self, graph, algorithm, framework, ordering, seconds):
+        self.graph = graph
+        self.algorithm = algorithm
+        self.framework = framework
+        self.ordering = ordering
+        self.seconds = seconds
+
+
+class TestRuntimeMatrix:
+    RESULTS = [
+        FakeResult("g1", "PR", "ligra", "original", 2.0),
+        FakeResult("g1", "PR", "ligra", "vebo", 1.0),
+        FakeResult("g1", "PR", "polymer", "original", 4.0),
+        FakeResult("g1", "PR", "polymer", "vebo", 1.0),
+        FakeResult("g1", "BFS", "polymer", "original", 0.5),
+    ]
+
+    def test_rows_and_columns(self):
+        m = runtime_matrix(self.RESULTS)
+        assert m["g1/PR/ligra"] == {"original": 2.0, "vebo": 1.0}
+        assert m["g1/BFS/polymer"] == {"original": 0.5}
+
+    def test_custom_row_keys(self):
+        m = runtime_matrix(self.RESULTS, row_keys=("framework",), col_key="ordering")
+        assert m["ligra"]["vebo"] == 1.0
+
+    def test_renders_through_format_matrix(self):
+        out = format_matrix(runtime_matrix(self.RESULTS))
+        assert "g1/PR/ligra" in out and "vebo" in out
+
+    def test_ordering_speedups_geomean(self):
+        gains = ordering_speedups(self.RESULTS)
+        assert gains["ligra"] == pytest.approx(2.0)
+        assert gains["polymer"] == pytest.approx(4.0)  # BFS lacks vebo: skipped
+
+    def test_ordering_speedups_missing_cells(self):
+        assert ordering_speedups([self.RESULTS[0]]) == {}
 
 
 class TestFormatTable:
