@@ -94,3 +94,50 @@ def test_table5(dataset, benchmark, request):
     assert veb["em_local"] + veb["em_remote"] < 3 * (
         orig["em_local"] + orig["em_remote"]
     )
+
+
+@pytest.mark.parametrize("ordering", ["original", "vebo"])
+def test_table5_engine_trace_matches_simulated_workload(twitter, ordering, benchmark):
+    """The cache-simulated workload above and the engine's work accounting
+    describe the same traversal.  Runs on the engine backend selected by
+    ``REPRO_BACKEND`` (the CI matrix covers both), tying Table V to the
+    same execution core as every other table: one dense pull edgemap plus
+    one dense vertexmap must account for every in-edge and every vertex,
+    distributed over the same Algorithm 1 chunks the simulation used."""
+    import os
+
+    from repro.algorithms.common import make_engine
+    from repro.frameworks.engine import EdgeOp
+    from repro.frameworks.frontier import Frontier
+
+    prep = prepare(twitter, ordering, P)
+    g = prep.graph
+    b = prep.boundaries if prep.boundaries is not None else chunk_boundaries(
+        g.in_degrees(), P
+    )
+    engine = make_engine(g, P, "T5", boundaries=b)  # REPRO_BACKEND decides
+    n = g.num_vertices
+    op = EdgeOp(
+        gather=lambda s, d, st: np.ones(s.size),
+        reduce="add",
+        apply=lambda t, r, st: np.ones(t.size, dtype=bool),
+        identity=0.0,
+    )
+    frontier = Frontier.all_vertices(n)
+    benchmark.pedantic(
+        lambda: engine.edgemap(frontier, op, {}, direction="pull"),
+        rounds=1, iterations=1,
+    )
+    engine.vertexmap(frontier, lambda ids, st: None, {})
+    em, vm = engine.trace.records
+    backend = os.environ.get("REPRO_BACKEND") or "reference"
+    print_header(
+        f"Table V ({ordering}): engine-trace totals ({backend} backend)"
+    )
+    print(f"edgemap edges {em.total_edges()} (|E| = {g.num_edges}), "
+          f"vertexmap vertices {int(vm.part_vertices.sum())} (n = {n})")
+    # Every in-edge lands in exactly one chunk; chunk widths cover n.
+    assert em.total_edges() == g.num_edges
+    assert np.array_equal(em.part_edges, np.diff(g.csc.offsets[b]))
+    assert int(vm.part_vertices.sum()) == n
+    assert np.array_equal(vm.part_vertices, np.diff(b))

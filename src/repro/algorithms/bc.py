@@ -24,12 +24,13 @@ def betweenness_centrality(
     source: int = 0,
     num_partitions: int = 384,
     boundaries=None,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Single-source BC scores (unnormalized, directed paths)."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range")
-    engine = make_engine(graph, num_partitions, "BC", boundaries)
+    engine = make_engine(graph, num_partitions, "BC", boundaries, backend=backend)
 
     level = np.full(n, -1, dtype=np.int64)
     sigma = np.zeros(n, dtype=np.float64)
@@ -63,7 +64,7 @@ def betweenness_centrality(
     # Backward phase: dependency accumulation over the transpose graph.
     delta = np.zeros(n, dtype=np.float64)
     reverse = graph.reverse()
-    engine_rev = make_engine(reverse, num_partitions, "BC", boundaries)
+    engine_rev = make_engine(reverse, num_partitions, "BC", boundaries, backend=backend)
 
     def gather_bwd(srcs, dsts, st):
         # src here is the deeper vertex w; contribution to its predecessors.

@@ -26,12 +26,13 @@ def bellman_ford(
     num_partitions: int = 384,
     boundaries=None,
     max_iterations: int | None = None,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Shortest distances from ``source`` (inf where unreachable)."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range")
-    engine = make_engine(graph, num_partitions, "BF", boundaries)
+    engine = make_engine(graph, num_partitions, "BF", boundaries, backend=backend)
     limit = max_iterations if max_iterations is not None else n
 
     state = {"dist": np.full(n, np.inf, dtype=np.float64)}

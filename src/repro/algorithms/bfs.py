@@ -26,13 +26,14 @@ def bfs(
     num_partitions: int = 384,
     boundaries=None,
     direction: str = "auto",
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """BFS from ``source``; returns per-vertex levels (-1 = unreached) and
     parents (-1 = none)."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for {n} vertices")
-    engine = make_engine(graph, num_partitions, "BFS", boundaries)
+    engine = make_engine(graph, num_partitions, "BFS", boundaries, backend=backend)
 
     state = {
         "level": np.full(n, -1, dtype=np.int64),

@@ -33,11 +33,12 @@ def belief_propagation(
     orig_ids: np.ndarray | None = None,
     num_partitions: int = 384,
     boundaries=None,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Run ``num_iterations`` damped BP sweeps; returns final log-odds
     beliefs and per-vertex marginals."""
     n = graph.num_vertices
-    engine = make_engine(graph, num_partitions, "BP", boundaries)
+    engine = make_engine(graph, num_partitions, "BP", boundaries, backend=backend)
 
     ids = np.arange(n, dtype=np.int64)
     orig = ids if orig_ids is None else np.asarray(orig_ids, dtype=np.int64)
@@ -50,9 +51,18 @@ def belief_propagation(
     }
 
     def gather(srcs, dsts, st):
-        # Edge coupling strength scales with the synthetic weight.
-        w = coupling * edge_weights(srcs, dsts, orig_ids) / 32.0
-        return np.arctanh(np.tanh(w) * np.tanh(np.clip(st["belief"][srcs], -10, 10)))
+        # Edge coupling strength scales with the synthetic weight.  The
+        # weights depend only on the edge set, and a dense sweep passes
+        # the same stream every iteration — the vectorized backend hands
+        # over the identical array objects, so ``tanh(w)`` is reused
+        # across iterations (guarded by object identity, which cannot go
+        # stale while the reference is held here).
+        if st.get("_tw_srcs") is not srcs or st.get("_tw_dsts") is not dsts:
+            w = coupling * edge_weights(srcs, dsts, orig_ids) / 32.0
+            st["_tw"] = np.tanh(w)
+            st["_tw_srcs"] = srcs
+            st["_tw_dsts"] = dsts
+        return np.arctanh(st["_tw"] * np.tanh(np.clip(st["belief"][srcs], -10, 10)))
 
     def apply(touched, reduced, st):
         st["acc"][touched] = reduced

@@ -29,9 +29,9 @@ from repro.graph.csr import Graph
 __all__ = ["connected_components"]
 
 
-def _cc_sync(graph: Graph, num_partitions: int, boundaries, max_iterations: int):
+def _cc_sync(graph: Graph, num_partitions: int, boundaries, max_iterations: int, backend=None):
     n = graph.num_vertices
-    engine = make_engine(graph, num_partitions, "CC", boundaries)
+    engine = make_engine(graph, num_partitions, "CC", boundaries, backend=backend)
     state = {"label": np.arange(n, dtype=np.float64)}
 
     def gather(srcs, dsts, st):
@@ -48,7 +48,7 @@ def _cc_sync(graph: Graph, num_partitions: int, boundaries, max_iterations: int)
     # directions by alternating push over G and G^T each round.
     frontier = Frontier.all_vertices(n)
     reverse = graph.reverse()
-    engine_rev = make_engine(reverse, num_partitions, "CC", boundaries)
+    engine_rev = make_engine(reverse, num_partitions, "CC", boundaries, backend=backend)
     iterations = 0
     while not frontier.is_empty() and iterations < max_iterations:
         f_fwd = engine.edgemap(frontier, op, state, direction="auto")
@@ -62,16 +62,23 @@ def _cc_sync(graph: Graph, num_partitions: int, boundaries, max_iterations: int)
     return state, engine.trace, iterations
 
 
-def _cc_async(graph: Graph, num_partitions: int, boundaries, max_iterations: int):
+def _cc_async(graph: Graph, num_partitions: int, boundaries, max_iterations: int, backend=None):
     """Asynchronous label propagation: within a round, partitions are
     processed in id order and each reads the labels already updated by its
     predecessors (GraphLab-style asynchrony, single logical thread)."""
-    engine = make_engine(graph, num_partitions, "CC", boundaries)
+    engine = make_engine(graph, num_partitions, "CC", boundaries, backend=backend)
     bounds = engine.boundaries
     n = graph.num_vertices
     label = np.arange(n, dtype=np.int64)
     csc = graph.csc
-    csc_dst = np.repeat(np.arange(n, dtype=np.int64), csc.degrees())
+    # Reuse the engine's edge -> destination stream when it has one: the
+    # vectorized backend additionally recognizes (csc.adj, _csc_dst) as
+    # the full dense stream and replays its cached work record.  The
+    # attribute is an implementation detail of the built-in engines, not
+    # part of the EngineBackend protocol, so fall back to computing it.
+    csc_dst = getattr(engine, "_csc_dst", None)
+    if csc_dst is None:
+        csc_dst = np.repeat(np.arange(n, dtype=np.int64), csc.degrees())
     csr = graph.csr
     csr_src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees())
 
@@ -119,12 +126,13 @@ def connected_components(
     boundaries=None,
     mode: str = "sync",
     max_iterations: int = 1000,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Weakly connected components; ``mode`` is ``"sync"`` or ``"async"``."""
     if mode == "sync":
-        state, trace, iterations = _cc_sync(graph, num_partitions, boundaries, max_iterations)
+        state, trace, iterations = _cc_sync(graph, num_partitions, boundaries, max_iterations, backend)
     elif mode == "async":
-        state, trace, iterations = _cc_async(graph, num_partitions, boundaries, max_iterations)
+        state, trace, iterations = _cc_async(graph, num_partitions, boundaries, max_iterations, backend)
     else:
         raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
     return AlgorithmResult(

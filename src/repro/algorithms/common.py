@@ -69,13 +69,23 @@ def make_engine(
     algorithm: str,
     boundaries=None,
     exact_sources: bool = False,
+    backend: str | None = None,
 ):
-    """Construct an Engine plus empty trace for one algorithm run."""
-    from repro.frameworks.engine import Engine
+    """Construct an engine plus empty trace for one algorithm run.
+
+    ``backend`` selects the engine implementation (``"reference"`` or
+    ``"vectorized"``); ``None`` defers to the ``REPRO_BACKEND``
+    environment variable and finally the reference default — see
+    :mod:`repro.frameworks.backends`.  Backends are conformance-tested
+    bit-identical, so the choice never changes results, only wall-clock.
+    """
+    from repro.frameworks.backends import make_engine_backend
 
     if boundaries is None:
         boundaries = default_boundaries(graph, num_partitions)
     trace = WorkTrace(
         algorithm=algorithm, graph_name=graph.name, num_partitions=num_partitions
     )
-    return Engine(graph, boundaries, trace, exact_sources=exact_sources)
+    return make_engine_backend(
+        graph, boundaries, trace, exact_sources=exact_sources, backend=backend
+    )

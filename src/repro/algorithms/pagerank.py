@@ -24,10 +24,11 @@ def pagerank(
     damping: float = 0.85,
     num_partitions: int = 384,
     boundaries=None,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Run ``num_iterations`` of the power method; returns ranks and trace."""
     n = graph.num_vertices
-    engine = make_engine(graph, num_partitions, "PR", boundaries)
+    engine = make_engine(graph, num_partitions, "PR", boundaries, backend=backend)
     out_degs = graph.out_degrees().astype(np.float64)
     safe_out = np.maximum(out_degs, 1.0)  # dangling vertices contribute 0
 

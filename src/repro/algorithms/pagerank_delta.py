@@ -29,6 +29,7 @@ def pagerank_delta(
     delta_threshold: float = 1e-2,
     num_partitions: int = 384,
     boundaries=None,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """Delta-propagating PageRank (forward/push traversal, per Table II).
 
@@ -38,7 +39,7 @@ def pagerank_delta(
     ``max_iterations``.
     """
     n = graph.num_vertices
-    engine = make_engine(graph, num_partitions, "PRD", boundaries)
+    engine = make_engine(graph, num_partitions, "PRD", boundaries, backend=backend)
     out_degs = graph.out_degrees().astype(np.float64)
     safe_out = np.maximum(out_degs, 1.0)
 

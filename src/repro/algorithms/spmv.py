@@ -24,6 +24,7 @@ def spmv(
     num_partitions: int = 384,
     boundaries=None,
     seed: int = 7,
+    backend: str | None = None,
 ) -> AlgorithmResult:
     """One y = A x product; weights hash the (original) edge endpoints."""
     n = graph.num_vertices
@@ -35,7 +36,7 @@ def spmv(
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (n,):
         raise ValueError("x must have one entry per vertex")
-    engine = make_engine(graph, num_partitions, "SPMV", boundaries)
+    engine = make_engine(graph, num_partitions, "SPMV", boundaries, backend=backend)
     state = {"y": np.zeros(n, dtype=np.float64)}
 
     def gather(srcs, dsts, st):

@@ -24,8 +24,14 @@ artifact cache::
     vebo-reorder sweep run --graphs twitter,livejournal --jobs 4 \\
         --out results.jsonl
     vebo-reorder sweep run --jobs 4 --out results.jsonl --resume
+    vebo-reorder sweep run --backend vectorized --out results.jsonl
     vebo-reorder sweep status --out results.jsonl
     vebo-reorder sweep report --out results.jsonl
+
+``--backend`` (or the ``REPRO_BACKEND`` environment variable) selects the
+frontier-engine implementation; backends are conformance-tested
+bit-identical, so the choice only changes wall-clock, never the persisted
+numbers.
 """
 
 from __future__ import annotations
@@ -162,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip cells already present in the results store instead of "
         "refusing to reuse a non-empty --out file",
+    )
+    srun.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="engine backend executing every cell (reference, vectorized; "
+        "default: $REPRO_BACKEND, else reference) — results are "
+        "bit-identical across backends, only wall-clock differs",
     )
     _add_sweep_out_flag(srun)
     _add_cache_flags(srun)
@@ -392,6 +404,7 @@ def _sweep_cells_from_args(args):
             expand_matrix(
                 [name], algorithms, frameworks, orderings,
                 params=params, algo_kwargs=algo_kwargs,
+                backend=getattr(args, "backend", None),
             )
         )
     return cells
@@ -483,7 +496,7 @@ def _cmd_sweep_report(args) -> int:
 
     from repro.errors import ResultsError
     from repro.experiments import ResultsStore
-    from repro.metrics import format_matrix, ordering_speedups, runtime_matrix
+    from repro.metrics import render_report
     from repro.ordering import ORDERING_REGISTRY
 
     for name in (args.baseline, args.target):
@@ -496,8 +509,11 @@ def _cmd_sweep_report(args) -> int:
     out = _resolve_sweep_out(args, cache)
     entries = ResultsStore(out).entries()
     if not entries:
-        print(f"results store {out} holds no results", file=sys.stderr)
-        return 1
+        # A missing, empty or just-created store is a normal state (e.g.
+        # `sweep report` before the first `sweep run`), not an error: say
+        # so plainly and exit cleanly.
+        print(f"no results in {out} (run `sweep run` to populate it)")
+        return 0
     # One store may accumulate sweeps over different datasets/scales whose
     # graphs share names; group by the recorded cell metadata so a report
     # never averages a scale-0.5 baseline against a scale-1.0 target.
@@ -510,17 +526,7 @@ def _cmd_sweep_report(args) -> int:
         print()
         if len(groups) > 1:
             print(f"-- sweep group: {tag or '(no metadata)'} --")
-        print(format_matrix(runtime_matrix(results), row_label="graph/algo/framework"))
-        gains = ordering_speedups(results, baseline=args.baseline, target=args.target)
-        if gains:
-            print()
-            print(f"geomean {args.target} speedup over {args.baseline}:")
-            for fw, gain in gains.items():
-                print(f"  {fw:<12} {gain:.2f}x")
-        else:
-            print(
-                f"(no {args.baseline} vs {args.target} pairs in these results)"
-            )
+        print(render_report(results, baseline=args.baseline, target=args.target))
     return 0
 
 

@@ -19,6 +19,7 @@ Results carry both the estimate and enough metadata to build every table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -113,6 +114,16 @@ def _locality_window(num_vertices: int) -> int:
     return int(min(4096, max(64, num_vertices // 12)))
 
 
+#: base graph -> {(ordering, edge_order, perm digest) -> (src, dst) miss
+#: pair}.  The measurement is a deterministic function of the reordered
+#: layout and the traversal order, and repeated sweeps over one loaded
+#: graph re-derive the same layouts; the permutation is identified by its
+#: SHA-256 (the store's content-hash convention — constant-size keys even
+#: for full-scale graphs), and the weak outer key lets the memo die with
+#: the graph.
+_LOCALITY_MEMO: "WeakKeyDictionary[Graph, dict]" = WeakKeyDictionary()
+
+
 def _measure_locality(graph: Graph, edge_order: str, sample: int = 200_000) -> tuple[float, float]:
     """Miss fractions of the (src, dst) streams under the edge order the
     framework actually traverses."""
@@ -181,13 +192,19 @@ def run(
     prepared: PreparedGraph | None = None,
     locality: tuple[float, float] | None = None,
     cache: object = False,
+    backend: str | None = None,
     **algo_kwargs,
 ) -> ExperimentResult:
     """Run one configuration and price it.
 
     ``prepared`` short-circuits the reordering when the caller sweeps many
     algorithms over one prepared graph; ``cache`` opts the reordering into
-    the :mod:`repro.store` artifact cache instead.
+    the :mod:`repro.store` artifact cache instead.  ``backend`` picks the
+    engine implementation (:mod:`repro.frameworks.backends`; ``None``
+    defers to ``REPRO_BACKEND``) — backends are conformance-tested
+    bit-identical, so the resulting :class:`ExperimentResult` carries no
+    backend tag: the same cell computed under any backend is the same
+    result, only cheaper.
     """
     fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
     p = fw.default_partitions
@@ -204,6 +221,8 @@ def run(
     kwargs = dict(algo_kwargs)
     kwargs["num_partitions"] = p
     kwargs["boundaries"] = boundaries
+    if backend is not None:
+        kwargs["backend"] = backend
     if algorithm in ("SPMV", "BF", "BP"):
         kwargs.setdefault("orig_ids", prepared.orig_ids)
     if algorithm in ("BFS", "BC", "BF"):
@@ -221,7 +240,16 @@ def run(
         edge_order = _edge_order_for(fw.name, prepared.ordering)
         key = edge_order
         if key not in prepared.locality:
-            prepared.locality[key] = _measure_locality(g, edge_order)
+            import hashlib
+
+            memo = _LOCALITY_MEMO.setdefault(graph, {})
+            perm_digest = hashlib.sha256(prepared.perm.tobytes()).digest()
+            mkey = (prepared.ordering, edge_order, perm_digest)
+            pair = memo.get(mkey)
+            if pair is None:
+                pair = _measure_locality(g, edge_order)
+                memo[mkey] = pair
+            prepared.locality[key] = pair
         locality = prepared.locality[key]
     estimate = fw.price(result.trace, g, locality=locality)
     return ExperimentResult(
@@ -242,12 +270,14 @@ def run_sweep(
     frameworks: list[str],
     orderings: list[str],
     cache: object = False,
+    backend: str | None = None,
     **algo_kwargs,
 ) -> list[ExperimentResult]:
     """The Table III inner loop for one graph: all combinations, reusing
     each reordered graph across frameworks and algorithms.  ``cache``
     additionally persists each ordering via :mod:`repro.store`, so a
-    repeated sweep (or another process) skips the reordering entirely."""
+    repeated sweep (or another process) skips the reordering entirely.
+    ``backend`` selects the engine implementation for every cell."""
     results: list[ExperimentResult] = []
     # One prepared graph per (ordering, partition count) across *all*
     # frameworks: Ligra and GraphGrind share default_partitions=384, so a
@@ -270,6 +300,7 @@ def run_sweep(
                         fw,
                         ordering=ordering,
                         prepared=prep,
+                        backend=backend,
                         **algo_kwargs.get(algo, {}),
                     )
                 )

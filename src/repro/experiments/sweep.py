@@ -54,6 +54,12 @@ class SweepCell:
     ordering: str
     params: dict = field(default_factory=dict)       # dataset build params
     algo_kwargs: dict = field(default_factory=dict)  # per-algorithm kwargs
+    #: Engine backend the cell executes on (None = REPRO_BACKEND / default).
+    #: Deliberately NOT part of the cell key: backends are conformance-
+    #: tested bit-identical, so a cell's result does not depend on which
+    #: engine computed it — a sweep resumed under ``vectorized`` happily
+    #: reuses cells persisted under ``reference`` and vice versa.
+    backend: str | None = None
 
     def key(self) -> str:
         return result_cell_key(
@@ -76,6 +82,7 @@ def expand_matrix(
     orderings: Sequence[str],
     params: dict | None = None,
     algo_kwargs: dict | None = None,
+    backend: str | None = None,
 ) -> list[SweepCell]:
     """Expand a matrix into cells in the serial ``run_sweep`` order
     (per dataset: framework -> ordering -> algorithm), so a returned
@@ -94,6 +101,8 @@ def expand_matrix(
     from repro.ordering import ORDERING_REGISTRY
     from repro.store import DATASET_REGISTRY
 
+    from repro.frameworks.backends import resolve_backend
+
     for names, registry, what in (
         (datasets, DATASET_REGISTRY, "dataset"),
         (algorithms, ALGORITHMS, "algorithm"),
@@ -105,6 +114,8 @@ def expand_matrix(
             raise ResultsError(
                 f"unknown {what}(s) {unknown}; available: {sorted(registry)}"
             )
+    if backend is not None:
+        resolve_backend(backend)  # raises on an unknown backend name
     params = dict(params or {})
     algo_kwargs = dict(algo_kwargs or {})
     return [
@@ -115,6 +126,7 @@ def expand_matrix(
             ordering=o,
             params=params,
             algo_kwargs=dict(algo_kwargs.get(a, {})),
+            backend=backend,
         )
         for d in datasets
         for f in frameworks
@@ -165,6 +177,7 @@ def _compute_cell(
         fw,
         ordering=cell.ordering,
         prepared=prep,
+        backend=cell.backend,
         **cell.algo_kwargs,
     )
 
@@ -312,6 +325,7 @@ def run_matrix(
     *,
     params: dict | None = None,
     algo_kwargs: dict | None = None,
+    backend: str | None = None,
     jobs: int = 1,
     store: "ResultsStore | str | os.PathLike | None" = None,
     resume: bool = True,
@@ -326,7 +340,7 @@ def run_matrix(
     """
     cells = expand_matrix(
         datasets, algorithms, frameworks, orderings,
-        params=params, algo_kwargs=algo_kwargs,
+        params=params, algo_kwargs=algo_kwargs, backend=backend,
     )
     return run_cells(
         cells, jobs=jobs, store=store, resume=resume, cache=cache, progress=progress

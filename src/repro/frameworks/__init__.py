@@ -1,8 +1,20 @@
-"""Frontier engine, work traces and framework personalities."""
+"""Frontier engine, engine backends, work traces and framework personalities."""
 
 from repro.frameworks.frontier import DensityClass, Frontier
 from repro.frameworks.trace import IterationRecord, WorkTrace
 from repro.frameworks.engine import EdgeOp, Engine, gather_rows
+from repro.frameworks.vectorized import VectorizedEngine
+from repro.frameworks.backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    EngineBackend,
+    available_backends,
+    get_backend,
+    make_engine_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.frameworks.personality import (
     FRAMEWORKS,
     FrameworkModel,
@@ -20,7 +32,17 @@ __all__ = [
     "WorkTrace",
     "EdgeOp",
     "Engine",
+    "VectorizedEngine",
     "gather_rows",
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "EngineBackend",
+    "available_backends",
+    "get_backend",
+    "make_engine_backend",
+    "register_backend",
+    "resolve_backend",
     "FRAMEWORKS",
     "FrameworkModel",
     "GRAPHGRIND",

@@ -1,0 +1,158 @@
+"""Engine backend protocol, registry and selection.
+
+The frontier engine is the execution core of every algorithm run, and the
+repository ships two interchangeable implementations of it:
+
+* ``reference`` — :class:`repro.frameworks.engine.Engine`, the original
+  semi-interpreted NumPy engine.  It is deliberately kept simple and is
+  the *oracle*: every other backend is defined as "bit-identical to the
+  reference on every algorithm, ordering and frontier density".
+* ``vectorized`` — :class:`repro.frameworks.vectorized.VectorizedEngine`,
+  a Ligra-style push/pull engine that executes dense edgemaps over
+  precomputed COO/CSC streams, reduces with ``np.bincount`` /
+  ``np.ufunc.reduceat`` segment kernels instead of ``np.ufunc.at``
+  scatters, and memoizes every layout-dependent quantity (partition maps,
+  full-stream work records, segment boundaries) across engine
+  constructions.  The differential conformance suite
+  (``tests/frameworks/test_backend_conformance.py``) pins down the
+  bit-equality.
+
+Backends implement the :class:`EngineBackend` protocol — construction
+from ``(graph, boundaries, trace, exact_sources)`` plus the ``edgemap`` /
+``vertexmap`` entry points — so algorithms never name a concrete class.
+
+Selection is threaded end to end: algorithms accept ``backend=``, the
+experiment runner and sweep orchestrator forward it, the CLI exposes
+``--backend`` and the environment variable :data:`BACKEND_ENV_VAR`
+(``REPRO_BACKEND``) supplies the process-wide default, which is how the
+CI matrix runs the whole tier-1 suite under either implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.frameworks.engine import EdgeOp
+    from repro.frameworks.frontier import Frontier
+    from repro.frameworks.trace import WorkTrace
+    from repro.graph.csr import Graph
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "EngineBackend",
+    "available_backends",
+    "get_backend",
+    "make_engine_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable holding the process-wide default backend name.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Backend used when neither the caller nor the environment picks one.
+DEFAULT_BACKEND = "reference"
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """What every engine backend must provide.
+
+    A backend is a class constructed per algorithm run from the graph, the
+    accounting partition boundaries, an empty :class:`WorkTrace` and the
+    ``exact_sources`` accounting flag; the instance then executes
+    ``edgemap`` / ``vertexmap`` steps.  Two backends are *conformant* when,
+    fed the same construction arguments and the same step sequence, they
+    produce bit-identical next frontiers, bit-identical state mutations
+    (through the user-supplied ``gather``/``apply`` callables) and
+    bit-identical trace records.
+    """
+
+    graph: "Graph"
+    boundaries: np.ndarray
+    trace: "WorkTrace"
+    exact_sources: bool
+    num_partitions: int
+
+    def edgemap(
+        self,
+        frontier: "Frontier",
+        op: "EdgeOp",
+        state: dict,
+        direction: str = "auto",
+        dst_candidates: np.ndarray | None = None,
+    ) -> "Frontier": ...
+
+    def vertexmap(
+        self,
+        frontier: "Frontier",
+        fn: Callable[[np.ndarray, dict], np.ndarray | None],
+        state: dict,
+    ) -> "Frontier": ...
+
+
+#: name -> backend class; populated below and via :func:`register_backend`.
+BACKENDS: dict[str, type] = {}
+
+
+def register_backend(name: str, cls: type) -> type:
+    """Register an engine backend class under ``name``."""
+    if name in BACKENDS:
+        raise SimulationError(f"engine backend {name!r} already registered")
+    BACKENDS[name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend name: explicit argument > ``REPRO_BACKEND`` >
+    :data:`DEFAULT_BACKEND`.  Validates against the registry."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise SimulationError(
+            f"unknown engine backend {name!r}; available: {available_backends()}"
+        )
+    return name
+
+
+def get_backend(name: str | None = None) -> type:
+    """The backend class for ``name`` (resolved per :func:`resolve_backend`)."""
+    return BACKENDS[resolve_backend(name)]
+
+
+def make_engine_backend(
+    graph: "Graph",
+    boundaries: np.ndarray,
+    trace: "WorkTrace",
+    exact_sources: bool = False,
+    backend: str | None = None,
+) -> EngineBackend:
+    """Construct an engine of the resolved backend."""
+    cls = get_backend(backend)
+    return cls(graph, boundaries, trace, exact_sources=exact_sources)
+
+
+def _populate() -> None:
+    # Imported here (not at module top) so engine.py and vectorized.py can
+    # import this module's registry helpers without a cycle.
+    from repro.frameworks.engine import Engine
+    from repro.frameworks.vectorized import VectorizedEngine
+
+    register_backend("reference", Engine)
+    register_backend("vectorized", VectorizedEngine)
+
+
+_populate()

@@ -162,6 +162,17 @@ class Engine:
     # ------------------------------------------------------------------
     # Work accounting
     # ------------------------------------------------------------------
+    def _stream_miss_pair(self, srcs: np.ndarray, dsts: np.ndarray) -> tuple[float, float]:
+        return _stream_miss(srcs, dsts, self.graph.num_vertices)
+
+    def _touched_dsts(self, dsts: np.ndarray) -> np.ndarray:
+        """Sorted unique destinations of a step, via a touch-flag array
+        (O(n + e) scatter, no sort).  A hook so backends may specialize
+        (the result is fully determined: sorted unique int64 ids)."""
+        flag = np.zeros(self.graph.num_vertices, dtype=bool)
+        flag[dsts] = True
+        return np.flatnonzero(flag).astype(INDEX_DTYPE)
+
     def _record_edgemap(
         self,
         direction: str,
@@ -173,12 +184,9 @@ class Engine:
         p = self.num_partitions
         parts = self._vertex_part[dsts]
         part_edges = np.bincount(parts, minlength=p).astype(np.int64)
-        # Distinct destinations per partition via a touch-flag array (O(m)
-        # scatter, no sort).
+        # Distinct destinations per partition (via the _touched_dsts hook).
         if dsts.size:
-            flag = np.zeros(self.graph.num_vertices, dtype=bool)
-            flag[dsts] = True
-            touched = np.flatnonzero(flag)
+            touched = self._touched_dsts(dsts)
             part_dsts = np.bincount(
                 self._vertex_part[touched], minlength=p
             ).astype(np.int64)
@@ -202,8 +210,9 @@ class Engine:
         # BFS wave in a community-local ordering reads tightly clustered
         # sources; a random permutation scatters the same wave across the
         # whole array.  Layout-level measurements cannot see that, so each
-        # record carries its own miss fractions.
-        src_miss, dst_miss = _stream_miss(srcs, dsts, self.graph.num_vertices)
+        # record carries its own miss fractions.  (Routed through a method
+        # so backends may memoize the — deterministic — measurement.)
+        src_miss, dst_miss = self._stream_miss_pair(srcs, dsts)
         self.trace.append(
             IterationRecord(
                 kind="edgemap",
@@ -245,6 +254,13 @@ class Engine:
     # ------------------------------------------------------------------
     @staticmethod
     def _reduce_at(reduce: str, acc: np.ndarray, dsts: np.ndarray, vals: np.ndarray) -> None:
+        # Reduce in the accumulator's dtype, explicitly.  ``ufunc.at``
+        # upcasts a float32 ``vals`` element-by-element, which happens to
+        # accumulate in float64 — but silently, and segment kernels
+        # (``np.bincount`` / ``reduceat``) would instead reduce in float32
+        # and diverge.  One explicit cast pins the contract for every
+        # backend: arithmetic happens in ``acc.dtype``.
+        vals = np.asarray(vals, dtype=acc.dtype)
         if reduce == "add":
             np.add.at(acc, dsts, vals)
         elif reduce == "min":
@@ -327,9 +343,7 @@ class Engine:
         vals = op.gather(srcs, dsts, state)
         acc = np.full(graph.num_vertices, op.identity, dtype=np.float64)
         self._reduce_at(op.reduce, acc, dsts, vals)
-        flag = np.zeros(graph.num_vertices, dtype=bool)
-        flag[dsts] = True
-        touched = np.flatnonzero(flag).astype(INDEX_DTYPE)
+        touched = self._touched_dsts(dsts)
         changed = op.apply(touched, acc[touched], state)
         next_ids = touched[changed]
         return Frontier.from_ids(next_ids, graph.num_vertices)

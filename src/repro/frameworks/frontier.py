@@ -41,22 +41,24 @@ class Frontier:
 
     mask: np.ndarray  # bool[n]
     _ids: np.ndarray | None = None
+    _count: int | None = None  # cached active count (mask is immutable)
 
     # ------------------------------------------------------------------
     @classmethod
     def empty(cls, num_vertices: int) -> "Frontier":
-        return cls(mask=np.zeros(num_vertices, dtype=bool))
+        return cls(mask=np.zeros(num_vertices, dtype=bool), _count=0)
 
     @classmethod
     def all_vertices(cls, num_vertices: int) -> "Frontier":
-        return cls(mask=np.ones(num_vertices, dtype=bool))
+        return cls(mask=np.ones(num_vertices, dtype=bool), _count=num_vertices)
 
     @classmethod
     def from_ids(cls, ids: np.ndarray, num_vertices: int) -> "Frontier":
         mask = np.zeros(num_vertices, dtype=bool)
         ids = np.asarray(ids, dtype=INDEX_DTYPE)
         mask[ids] = True
-        return cls(mask=mask, _ids=np.unique(ids))
+        unique = np.unique(ids)
+        return cls(mask=mask, _ids=unique, _count=int(unique.size))
 
     @classmethod
     def from_mask(cls, mask: np.ndarray) -> "Frontier":
@@ -74,14 +76,23 @@ class Frontier:
         return self._ids
 
     def count(self) -> int:
-        return int(np.count_nonzero(self.mask))
+        if self._count is None:
+            self._count = int(np.count_nonzero(self.mask))
+        return self._count
 
     def is_empty(self) -> bool:
+        if self._count is not None:
+            return self._count == 0
         return not self.mask.any()
 
     def active_out_edges(self, graph: Graph) -> int:
         """Number of edges whose source is active (the direction-reversal
         decision quantity)."""
+        # Boolean indexing and sorted-id indexing select the same elements
+        # in the same order, so the sums are identical; the id route skips
+        # an O(n) scan when the sparse list is already materialized.
+        if self._ids is not None:
+            return int(graph.out_degrees()[self._ids].sum())
         return int(graph.out_degrees()[self.mask].sum())
 
     def density(self, graph: Graph) -> float:

@@ -184,7 +184,18 @@ class FrameworkModel:
         homes = topo.partition_home_sockets(p)
 
         per_iter = np.zeros(len(trace.records), dtype=np.float64)
+        # Replayed records price identically: the vectorized engine appends
+        # the *same* immutable record object for every dense step of an
+        # iterative algorithm (PR prices one dense pull, not ten), so memo
+        # on object identity.  Reference traces hold distinct objects and
+        # take the memo-miss path unchanged.  The memo is per price() call,
+        # which also keeps ids stable (records are alive in the trace).
+        memo: dict[int, float] = {}
         for i, rec in enumerate(trace.records):
+            cached = memo.get(id(rec))
+            if cached is not None:
+                per_iter[i] = cached
+                continue
             if rec.kind == "vertexmap":
                 per_iter[i] = self._price_vertexmap(rec, homes)
             else:
@@ -200,6 +211,7 @@ class FrameworkModel:
                     rec_src = min(1.0, self.miss_floor + self.miss_scale * rec.src_miss)
                     rec_dst = min(1.0, self.miss_floor + self.miss_scale * rec.dst_miss)
                 per_iter[i] = self._price_edgemap(rec, rec_src, rec_dst, homes)
+            memo[id(rec)] = per_iter[i]
         return RuntimeEstimate(
             seconds=float(per_iter.sum()),
             per_iteration=per_iter,

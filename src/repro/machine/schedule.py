@@ -98,14 +98,26 @@ def greedy_dynamic_schedule(costs: np.ndarray, num_workers: int) -> ScheduleResu
     absorb most imbalance — the reason Ligra benefits less from VEBO.
     """
     costs = _check(costs, num_workers)
+    if costs.size and not costs.all():
+        # Zero-cost tasks are exact no-ops: the popped (time, worker) key
+        # is pushed back unchanged — keys are unique tuples, so the heap
+        # *set* (hence every later pop) and the accumulators are
+        # bit-identical with the zeros dropped.  Sparse edgemap records
+        # leave most of the 384 chunks empty, so this turns an O(P log W)
+        # Python loop into O(active log W).
+        costs = costs[costs != 0.0]
     finish = [(0.0, w) for w in range(num_workers)]
     heapq.heapify(finish)
-    per_worker = np.zeros(num_workers, dtype=np.float64)
-    for c in costs:
+    acc = [0.0] * num_workers
+    # Plain-Python floats throughout the hot loop: element-wise numpy
+    # scalar indexing costs ~10x a list append, and tolist() round-trips
+    # float64 exactly, so the heap arithmetic is bit-identical.
+    for c in costs.tolist():
         t, w = heapq.heappop(finish)
-        t += float(c)
-        per_worker[w] += float(c)
+        t += c
+        acc[w] += c
         heapq.heappush(finish, (t, w))
+    per_worker = np.array(acc, dtype=np.float64)
     makespan = max(t for t, _ in finish) if num_workers else 0.0
     return ScheduleResult(makespan=makespan, per_worker=per_worker, policy="dynamic")
 
@@ -133,21 +145,30 @@ def cilk_recursive_schedule(
     if n == 0:
         return ScheduleResult(0.0, np.zeros(num_workers), "cilk")
     auto_grain = max(int(grain), (n + 8 * num_workers - 1) // (8 * num_workers))
-    # Build leaf ranges by iterative halving.
-    leaves: list[tuple[int, int]] = []
-    stack = [(0, n)]
-    while stack:
-        lo, hi = stack.pop()
-        if hi - lo <= auto_grain:
-            leaves.append((lo, hi))
-        else:
-            mid = (lo + hi) // 2
-            stack.append((mid, hi))
-            stack.append((lo, mid))
-    leaves.sort()
-    leaf_costs = np.array(
-        [costs[lo:hi].sum() + (steal_overhead if i else 0.0) for i, (lo, hi) in enumerate(leaves)]
-    )
+    if auto_grain == 1:
+        # Halving a range down to grain 1 yields exactly the singleton
+        # leaves [i, i+1) in order — the common 384-chunk / 48-thread
+        # configuration — so skip the recursion and the per-leaf Python
+        # sums.  ``cost + steal_overhead`` is the same single float64
+        # addition the generic path performs per leaf.
+        leaf_costs = costs.copy()
+        leaf_costs[1:] += steal_overhead
+    else:
+        # Build leaf ranges by iterative halving.
+        leaves: list[tuple[int, int]] = []
+        stack = [(0, n)]
+        while stack:
+            lo, hi = stack.pop()
+            if hi - lo <= auto_grain:
+                leaves.append((lo, hi))
+            else:
+                mid = (lo + hi) // 2
+                stack.append((mid, hi))
+                stack.append((lo, mid))
+        leaves.sort()
+        leaf_costs = np.array(
+            [costs[lo:hi].sum() + (steal_overhead if i else 0.0) for i, (lo, hi) in enumerate(leaves)]
+        )
     inner = greedy_dynamic_schedule(leaf_costs, num_workers)
     return ScheduleResult(
         makespan=inner.makespan, per_worker=inner.per_worker, policy="cilk"

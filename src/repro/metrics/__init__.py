@@ -5,6 +5,7 @@ from repro.metrics.tables import (
     format_table,
     geometric_mean,
     ordering_speedups,
+    render_report,
     runtime_matrix,
     speedups,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "ordering_speedups",
+    "render_report",
     "runtime_matrix",
     "speedups",
 ]

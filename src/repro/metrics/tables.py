@@ -19,6 +19,7 @@ __all__ = [
     "format_matrix",
     "runtime_matrix",
     "ordering_speedups",
+    "render_report",
 ]
 
 
@@ -119,6 +120,32 @@ def ordering_speedups(
         if ratios:
             out[fw] = geometric_mean(ratios)
     return out
+
+
+def render_report(
+    results: Iterable,
+    baseline: str = "original",
+    target: str = "vebo",
+    row_label: str = "graph/algo/framework",
+) -> str:
+    """Render one result group the way ``sweep report`` prints it: the
+    runtime matrix followed by the per-framework geomean speedup block.
+
+    This is the single formatting path for report output — the CLI calls
+    it per sweep group, and the golden-file regression tests pin its exact
+    text, so any formatting change shows up as a diff instead of being
+    eyeballed across terminals.
+    """
+    lines = [format_matrix(runtime_matrix(results), row_label=row_label)]
+    gains = ordering_speedups(results, baseline=baseline, target=target)
+    if gains:
+        lines.append("")
+        lines.append(f"geomean {target} speedup over {baseline}:")
+        for fw, gain in gains.items():
+            lines.append(f"  {fw:<12} {gain:.2f}x")
+    else:
+        lines.append(f"(no {baseline} vs {target} pairs in these results)")
+    return "\n".join(lines)
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -2,7 +2,8 @@
 
 Importing this package populates :data:`repro.ordering.ORDERING_REGISTRY`
 with every built-in algorithm: ``original``, ``random``, ``degree-sort``,
-``vebo``, ``rcm``, ``gorder``, ``slashburn``, ``ldg`` and ``fennel``.
+``vebo``, ``rcm``, ``gorder``, ``slashburn``, ``ldg``, ``fennel`` and
+``hilbert``.
 """
 
 from repro.ordering.base import (
@@ -20,6 +21,7 @@ from repro.ordering.rcm import rcm, rcm_perm
 from repro.ordering.gorder import gorder, gorder_perm
 from repro.ordering.slashburn import slashburn, slashburn_perm
 from repro.ordering.streaming import fennel, fennel_perm, ldg, ldg_perm
+from repro.ordering.hilbert import hilbert_vertex_order
 
 __all__ = [
     "ORDERING_REGISTRY",
@@ -45,4 +47,5 @@ __all__ = [
     "ldg_perm",
     "fennel",
     "fennel_perm",
+    "hilbert_vertex_order",
 ]

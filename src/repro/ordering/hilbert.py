@@ -1,0 +1,57 @@
+"""Hilbert space-filling-curve *vertex* ordering.
+
+The vertex-side analogue of the Figure 6 edge traversal
+(:mod:`repro.edgeorder.hilbert`): each vertex is placed at the 2-D point
+``(x=v, y=first in-neighbour of v)`` — its destination-row coordinate in
+the adjacency matrix paired with a representative source column — and
+vertices are renumbered by their position along the Hilbert curve through
+that plane.  Vertices adjacent on the curve share both id-range locality
+and source locality, so the ordering produces a *structured* relabelling
+whose CSR/CSC layouts differ qualitatively from the identity, from
+degree-driven orders (VEBO, degree-sort) and from random permutations.
+
+This is not one of the paper's orderings.  It exists because the engine
+must be layout-agnostic: the backend conformance suite sweeps
+{original, vebo, hilbert} to prove the vectorized engine bit-identical to
+the reference under an id-preserving layout, an edge-balance-driven
+relabelling and a space-filling-curve relabelling — three differently
+shaped adjacency structures — and the locality studies get a cheap
+O(n log n) structured baseline for free.
+
+Vertices with no in-edges use their own id as the source coordinate,
+which keeps them near their original neighbourhood on the curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edgeorder.hilbert import _order_for, hilbert_index
+from repro.graph.csr import INDEX_DTYPE, Graph
+from repro.ordering.base import register_ordering, timed_ordering
+
+__all__ = ["hilbert_vertex_order"]
+
+
+def _hilbert_perm(graph: Graph) -> tuple[np.ndarray, dict]:
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=INDEX_DTYPE), {"order_bits": 0}
+    ids = np.arange(n, dtype=np.int64)
+    m = graph.num_edges
+    if m:
+        # First in-neighbour of each vertex (own id where there is none).
+        starts = np.minimum(graph.csc.offsets[:-1], m - 1)
+        first_in = np.where(graph.in_degrees() > 0, graph.csc.adj[starts], ids)
+    else:
+        first_in = ids
+    bits = _order_for(max(2, n))
+    d = hilbert_index(ids, first_in, bits)
+    seq = np.argsort(d, kind="stable")  # new sequence -> old id
+    perm = np.empty(n, dtype=INDEX_DTYPE)
+    perm[seq] = np.arange(n, dtype=INDEX_DTYPE)
+    return perm, {"order_bits": bits}
+
+
+hilbert_vertex_order = timed_ordering(_hilbert_perm, algorithm="hilbert")
+register_ordering("hilbert", hilbert_vertex_order)

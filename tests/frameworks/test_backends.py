@@ -1,0 +1,139 @@
+"""Backend registry, selection plumbing and reduction dtype contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.common import make_engine
+from repro.errors import SimulationError
+from repro.frameworks.backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    EngineBackend,
+    available_backends,
+    get_backend,
+    make_engine_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.frameworks.engine import EdgeOp, Engine
+from repro.frameworks.frontier import Frontier
+from repro.frameworks.trace import WorkTrace
+from repro.frameworks.vectorized import VectorizedEngine
+from repro.graph import generators as gen
+from repro.partition.algorithm1 import chunk_boundaries
+
+
+@pytest.fixture()
+def graph():
+    return gen.zipf_powerlaw_graph(120, s=1.2, max_degree=20, seed=1, name="bk")
+
+
+class TestSelection:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert DEFAULT_BACKEND == "reference"
+        assert resolve_backend() == "reference"
+        assert get_backend() is Engine
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend() == "vectorized"
+        assert get_backend() is VectorizedEngine
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend("reference") == "reference"
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend() == DEFAULT_BACKEND
+
+    def test_unknown_backend_raises(self, monkeypatch):
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            resolve_backend("turbo")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            resolve_backend()
+
+    def test_available_backends(self):
+        assert available_backends() == sorted(BACKENDS)
+        assert {"reference", "vectorized"} <= set(available_backends())
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_backend("reference", Engine)
+
+    def test_both_backends_satisfy_protocol(self, graph):
+        boundaries = chunk_boundaries(graph.in_degrees(), 4)
+        for name in ("reference", "vectorized"):
+            trace = WorkTrace(algorithm="x", graph_name="g", num_partitions=4)
+            eng = make_engine_backend(graph, boundaries, trace, backend=name)
+            assert isinstance(eng, EngineBackend)
+            assert isinstance(eng, Engine)  # vectorized subclasses the oracle
+
+    def test_make_engine_threads_backend(self, graph, monkeypatch):
+        assert isinstance(
+            make_engine(graph, 4, "PR", backend="vectorized"), VectorizedEngine
+        )
+        assert type(make_engine(graph, 4, "PR", backend="reference")) is Engine
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert isinstance(make_engine(graph, 4, "PR"), VectorizedEngine)
+
+
+class TestReduceDtypeContract:
+    """`Engine._reduce_at` must reduce in the accumulator's dtype.
+
+    ``np.ufunc.at`` silently upcasts float32 values element-by-element;
+    segment kernels would otherwise reduce whole float32 segments at
+    float32 precision and diverge.  The explicit cast pins the contract
+    — these sums are chosen so float32 accumulation visibly loses bits.
+    """
+
+    # 1.0 + 2**-30 + 2**-30: representable in float64 accumulation, lost
+    # entirely if the two small values are first rounded into a float32
+    # running sum.
+    VALS32 = np.array([1.0, 2**-30, 2**-30], dtype=np.float32)
+
+    def test_add_accumulates_in_float64(self):
+        acc = np.zeros(4, dtype=np.float64)
+        Engine._reduce_at("add", acc, np.array([2, 2, 2]), self.VALS32)
+        expected = np.float64(1.0) + np.float64(np.float32(2**-30)) * 2
+        assert acc[2] == expected
+        assert acc[2] != np.float64(np.float32(1.0))  # bits were not lost
+
+    def test_min_and_or_cast_explicitly(self):
+        acc = np.full(3, np.inf)
+        Engine._reduce_at("min", acc, np.array([1, 1]), np.array([3.0, 2.0], dtype=np.float32))
+        assert acc[1] == 2.0 and acc.dtype == np.float64
+        acc = np.full(3, -np.inf)
+        Engine._reduce_at("or", acc, np.array([0, 0]), np.array([0.0, 1.0], dtype=np.float32))
+        assert acc[0] == 1.0 and acc.dtype == np.float64
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_float32_gather_edgemap_matches_float64_math(self, graph, backend):
+        """End to end: a float32 gather produces the float64-accumulated
+        sums on both backends (previously uncovered: the silent upcast was
+        an accident of ufunc.at, not a tested contract)."""
+        n = graph.num_vertices
+        base = np.full(n, np.float32(2**-30), dtype=np.float32)
+
+        captured = {}
+
+        def gather(srcs, dsts, st):
+            return base[srcs]  # float32 out of the gather
+
+        def apply(touched, reduced, st):
+            assert reduced.dtype == np.float64
+            captured["touched"] = touched
+            captured["reduced"] = reduced.copy()
+            return np.zeros(touched.size, dtype=bool)
+
+        op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+        eng = make_engine(graph, 4, "T", backend=backend)
+        eng.edgemap(Frontier.all_vertices(n), op, {}, direction="pull")
+        in_degs = graph.in_degrees()[captured["touched"]]
+        expected = in_degs.astype(np.float64) * np.float64(np.float32(2**-30))
+        assert np.array_equal(captured["reduced"], expected)

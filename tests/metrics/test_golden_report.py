@@ -1,0 +1,132 @@
+"""Golden-file regression for the report output.
+
+``runtime_matrix`` / ``ordering_speedups`` feed every human-facing table
+(``sweep report``, the benchmark harness prints).  Formatting drift —
+column order, float rendering, alignment, the speedup block — used to be
+caught by eye; these tests pin the exact rendered text against golden
+files instead, so a formatting change shows up as a reviewable diff.
+
+To intentionally update the goldens after a deliberate formatting change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/metrics/test_golden_report.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import format_matrix, render_report, runtime_matrix
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _result(graph, algo, fw, ordering, seconds):
+    """A fully deterministic ExperimentResult (fixed decimal seconds, so
+    the golden text can never wobble with the environment)."""
+    return ExperimentResult.from_dict({
+        "graph": graph,
+        "algorithm": algo,
+        "framework": fw,
+        "ordering": ordering,
+        "seconds": seconds,
+        "iterations": 3,
+        "ordering_seconds": 0.125,
+        "estimate": {
+            "seconds": seconds,
+            "per_iteration": [seconds / 2, seconds / 2],
+            "framework": fw,
+            "algorithm": algo,
+            "graph_name": graph,
+            "num_partitions": 384,
+            "details": {},
+        },
+    })
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    """A small two-graph, two-algorithm, three-framework sweep with both
+    orderings, including the value shapes the formatter special-cases
+    (sub-millisecond -> scientific notation, >=1000 -> scientific,
+    plain 4-significant-digit floats)."""
+    seconds = {
+        ("ligra", "original"): 2.5, ("ligra", "vebo"): 2.25,
+        ("polymer", "original"): 1.75, ("polymer", "vebo"): 1.25,
+        ("graphgrind", "original"): 1.5, ("graphgrind", "vebo"): 0.75,
+    }
+    out = []
+    for graph, scale in (("twitter-like", 1.0), ("usaroad-like", 0.0001)):
+        for algo in ("PR", "BFS"):
+            for (fw, ordering), s in seconds.items():
+                bump = 1.5 if algo == "BFS" else 1.0
+                out.append(_result(graph, algo, fw, ordering, s * scale * bump))
+    # One framework/ordering cell far above 1000s exercises the
+    # scientific-notation branch for large values.
+    out.append(_result("yahoo-like", "BP", "ligra", "original", 12345.0))
+    out.append(_result("yahoo-like", "BP", "ligra", "vebo", 11000.0))
+    return out
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+    assert path.is_file(), (
+        f"golden file {path} missing; run with REPRO_UPDATE_GOLDEN=1 to create"
+    )
+    assert text + "\n" == path.read_text(), (
+        f"report output drifted from {path}; if the change is deliberate, "
+        "regenerate with REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+def test_runtime_matrix_golden(sweep_results):
+    check_golden(
+        "runtime_matrix.txt",
+        format_matrix(runtime_matrix(sweep_results), row_label="graph/algo/framework"),
+    )
+
+
+def test_render_report_golden(sweep_results):
+    check_golden("report_default.txt", render_report(sweep_results))
+
+
+def test_render_report_no_pairs_golden(sweep_results):
+    """A baseline/target pair absent from the results renders the
+    explanatory line, not an empty block."""
+    check_golden(
+        "report_no_pairs.txt",
+        render_report(sweep_results, baseline="original", target="rcm"),
+    )
+
+
+def test_render_report_alternate_axes_golden(sweep_results):
+    """Rows can be re-keyed (framework-major) without touching the data."""
+    check_golden(
+        "matrix_by_framework.txt",
+        format_matrix(
+            runtime_matrix(
+                sweep_results,
+                row_keys=("framework", "algorithm"),
+                col_key="graph",
+            ),
+            row_label="framework/algo",
+        ),
+    )
+
+
+def test_goldens_are_committed():
+    """The fixtures themselves must exist in the repo (an accidental
+    deletion should fail loudly, not silently skip)."""
+    for name in (
+        "runtime_matrix.txt",
+        "report_default.txt",
+        "report_no_pairs.txt",
+        "matrix_by_framework.txt",
+    ):
+        assert (GOLDEN_DIR / name).is_file(), name

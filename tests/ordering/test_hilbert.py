@@ -1,0 +1,60 @@
+"""The Hilbert space-filling vertex ordering (conformance-suite layout)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.ordering import apply_ordering, get_ordering, validate_permutation
+from repro.ordering.hilbert import hilbert_vertex_order
+
+
+def test_registered():
+    assert get_ordering("hilbert") is hilbert_vertex_order
+
+
+def test_valid_structured_permutation(small_social):
+    r = hilbert_vertex_order(small_social)
+    validate_permutation(r.perm)
+    assert r.algorithm == "hilbert"
+    assert r.meta["order_bits"] >= 1
+    # Structured but not the identity: the curve interleaves the id range.
+    assert not np.array_equal(r.perm, np.arange(small_social.num_vertices))
+
+
+def test_deterministic(small_social):
+    a = hilbert_vertex_order(small_social).perm
+    b = hilbert_vertex_order(small_social).perm
+    assert np.array_equal(a, b)
+
+
+def test_apply_preserves_graph_shape(small_social):
+    r = hilbert_vertex_order(small_social)
+    g2 = apply_ordering(small_social, r)
+    assert g2.num_vertices == small_social.num_vertices
+    assert g2.num_edges == small_social.num_edges
+    # Degree multiset is permutation-invariant.
+    assert np.array_equal(
+        np.sort(g2.in_degrees()), np.sort(small_social.in_degrees())
+    )
+
+
+def test_source_coordinate_uses_first_in_neighbour(paper_graph):
+    # Same-id, different-in-neighbour graphs must generally order
+    # differently: the curve key is graph-aware, not a pure id shuffle.
+    flipped = paper_graph.reverse()
+    a = hilbert_vertex_order(paper_graph).perm
+    b = hilbert_vertex_order(flipped).perm
+    assert a.shape == b.shape
+    # (not asserted unequal — tiny graphs can coincide — but both valid)
+    validate_permutation(a)
+    validate_permutation(b)
+
+
+@pytest.mark.parametrize("n", [0, 1, 5])
+def test_degenerate_graphs(n):
+    g = Graph.from_edges(
+        np.array([], dtype=np.int64), np.array([], dtype=np.int64), n
+    )
+    r = hilbert_vertex_order(g)
+    validate_permutation(r.perm) if n else None
+    assert r.perm.size == n
