@@ -55,3 +55,31 @@ def print_header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+# ----------------------------------------------------------------------
+# Shared by the warm-Table-III speedup gates (test_backend_speedup,
+# test_trace_dedup_speedup): one definition of the matrix and the timing
+# convention, so the two gates always measure the same workload.
+# ----------------------------------------------------------------------
+
+POWERLAW_GRAPHS = [
+    "twitter", "friendster", "rmat", "powerlaw", "orkut", "livejournal", "yahoo",
+]
+ALL_GRAPHS = POWERLAW_GRAPHS + ["usaroad"]
+TABLE3_ALGOS = ["PR", "BFS", "PRD", "BF", "CC", "BC", "SPMV", "BP"]
+TABLE3_FRAMEWORKS = ["ligra", "polymer", "graphgrind"]
+TABLE3_ORDERINGS = ["original", "vebo"]
+TABLE3_ALGO_KWARGS = {"PR": {"num_iterations": 10}, "BP": {"num_iterations": 10}}
+
+
+def timed_best(fn, reps: int):
+    """Best-of-``reps`` wall-clock of ``fn()`` (damps scheduler noise)."""
+    import time
+
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

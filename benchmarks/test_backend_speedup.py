@@ -18,7 +18,6 @@ scheduler noise.  Scale via ``REPRO_BENCH_BACKEND_SCALE`` (default 0.2).
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest
@@ -27,18 +26,19 @@ from repro import store as repro_store
 from repro.experiments.runner import run_sweep
 from repro.metrics import format_table
 
-from conftest import print_header
+from conftest import (
+    ALL_GRAPHS,
+    POWERLAW_GRAPHS,
+    TABLE3_ALGO_KWARGS as ALGO_KWARGS,
+    TABLE3_ALGOS as ALGOS,
+    TABLE3_FRAMEWORKS as FRAMEWORKS,
+    TABLE3_ORDERINGS as ORDERINGS,
+    print_header,
+    timed_best,
+)
 
 SCALE = float(os.environ.get("REPRO_BENCH_BACKEND_SCALE", "0.2"))
 REPS = 2
-POWERLAW_GRAPHS = [
-    "twitter", "friendster", "rmat", "powerlaw", "orkut", "livejournal", "yahoo",
-]
-ALL_GRAPHS = POWERLAW_GRAPHS + ["usaroad"]
-ALGOS = ["PR", "BFS", "PRD", "BF", "CC", "BC", "SPMV", "BP"]
-FRAMEWORKS = ["ligra", "polymer", "graphgrind"]
-ORDERINGS = ["original", "vebo"]
-ALGO_KWARGS = {"PR": {"num_iterations": 10}, "BP": {"num_iterations": 10}}
 
 
 def sweep(graph, backend):
@@ -48,15 +48,6 @@ def sweep(graph, backend):
         graph, ALGOS, FRAMEWORKS, ORDERINGS,
         backend=backend, **ALGO_KWARGS,
     )
-
-
-def timed_best(fn, reps=REPS):
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 @pytest.fixture(scope="module")

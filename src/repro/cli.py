@@ -32,11 +32,23 @@ artifact cache::
 frontier-engine implementation; backends are conformance-tested
 bit-identical, so the choice only changes wall-clock, never the persisted
 numbers.
+
+``vebo-reorder traces`` manages the persistent execution-trace store
+(:mod:`repro.store.traces`) the sweep's dedup scheduling replays from::
+
+    vebo-reorder traces build --graphs twitter --algorithms PR,BFS
+    vebo-reorder traces list
+    vebo-reorder traces clean
+
+A built trace covers one (graph, ordering, algorithm) execution identity
+and prices under *every* framework personality, so a warm trace store
+turns a full sweep into pure pricing — no algorithm executes at all.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -143,10 +155,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     dclean = dsub.add_parser("clean", help="delete cache-owned artifact bundles")
     dclean.add_argument(
-        "--kind", default=None, choices=("graph", "ordering", "partition", "edgeorder"),
+        "--kind", default=None,
+        choices=("graph", "ordering", "partition", "edgeorder", "trace"),
         help="restrict to one artifact family (default: all)",
     )
     _add_cache_flags(dclean)
+
+    traces = sub.add_parser(
+        "traces",
+        help="manage the persistent execution-trace store (list, "
+        "pre-build for a sweep matrix, clean)",
+        epilog=_CACHE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    tsub = traces.add_subparsers(dest="traces_command", required=True)
+
+    tlist = tsub.add_parser("list", help="show stored execution traces")
+    _add_cache_flags(tlist)
+
+    tbuild = tsub.add_parser(
+        "build",
+        help="execute a (graphs x orderings x algorithms) matrix once per "
+        "identity and persist every trace — a later sweep replays them "
+        "under any framework without executing anything",
+    )
+    _add_matrix_flags(tbuild, frameworks=False)
+    tbuild.add_argument(
+        "--partitions", type=int, default=None, metavar="P",
+        help="accounting partition count (default: the shared framework "
+        "granularity, 384)",
+    )
+    tbuild.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="engine backend executing trace misses (traces are "
+        "backend-independent; this only changes build wall-clock)",
+    )
+    tbuild.add_argument(
+        "--refresh", action="store_true", help="re-execute even on a stored trace"
+    )
+    _add_cache_flags(tbuild)
+
+    tclean = tsub.add_parser("clean", help="delete stored execution traces")
+    _add_cache_flags(tclean)
 
     sweep = sub.add_parser(
         "sweep",
@@ -174,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine backend executing every cell (reference, vectorized; "
         "default: $REPRO_BACKEND, else reference) — results are "
         "bit-identical across backends, only wall-clock differs",
+    )
+    srun.add_argument(
+        "--no-dedup", action="store_true",
+        help="disable trace-aware scheduling: execute every cell "
+        "independently instead of once per (graph, ordering, algorithm) "
+        "identity (results are byte-identical either way)",
     )
     _add_sweep_out_flag(srun)
     _add_cache_flags(srun)
@@ -209,7 +265,7 @@ def _add_sweep_out_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
+def _add_matrix_flags(parser: argparse.ArgumentParser, frameworks: bool = True) -> None:
     parser.add_argument(
         "--graphs", default=None, metavar="A,B,...",
         help="dataset names (default: every registered dataset)",
@@ -218,10 +274,11 @@ def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
         "--algorithms", default="PR,BFS", metavar="A,B,...",
         help="algorithm names (default: PR,BFS)",
     )
-    parser.add_argument(
-        "--frameworks", default="ligra,polymer,graphgrind", metavar="A,B,...",
-        help="framework personalities (default: all three)",
-    )
+    if frameworks:
+        parser.add_argument(
+            "--frameworks", default="ligra,polymer,graphgrind", metavar="A,B,...",
+            help="framework personalities (default: all three)",
+        )
     parser.add_argument(
         "--orderings", default="original,vebo", metavar="A,B,...",
         help="vertex orderings (default: original,vebo)",
@@ -373,11 +430,18 @@ def _cmd_datasets_build(args) -> int:
     return status
 
 
-def _sweep_cells_from_args(args):
-    """Expand the CLI matrix flags into sweep cells (per-dataset params
-    filtered to what each spec accepts, as ``datasets build`` does)."""
+def _matrix_from_args(args):
+    """Parse the shared matrix flags into ``(graphs, algorithms,
+    orderings, params_by_graph, algo_kwargs)``.
+
+    This is the single source of truth for how CLI flags become
+    execution inputs — the per-graph params filter (only knobs the spec
+    accepts, as ``datasets build`` does) and the fixed-iteration kwargs
+    convention (PR/BP take ``--iterations``).  Both ``sweep`` and
+    ``traces build`` go through it, so the trace keys a build writes are
+    exactly the keys a later sweep looks up.
+    """
     from repro import store
-    from repro.experiments import expand_matrix
 
     graphs = (
         [g for g in args.graphs.split(",") if g]
@@ -385,25 +449,37 @@ def _sweep_cells_from_args(args):
         else store.available_datasets()
     )
     algorithms = [a for a in args.algorithms.split(",") if a]
-    frameworks = [f for f in args.frameworks.split(",") if f]
     orderings = [o for o in args.orderings.split(",") if o]
     algo_kwargs = {
         a: {"num_iterations": args.iterations}
         for a in algorithms
         if a in ("PR", "BP")
     }
-    cells = []
+    params_by_graph = {}
     for name in graphs:
         spec = store.get_dataset(name)
-        params = {
+        params_by_graph[name] = {
             k: v
             for k, v in (("scale", args.scale), ("seed", args.seed))
             if k in spec.defaults
         }
+    return graphs, algorithms, orderings, params_by_graph, algo_kwargs
+
+
+def _sweep_cells_from_args(args):
+    """Expand the CLI matrix flags into sweep cells."""
+    from repro.experiments import expand_matrix
+
+    graphs, algorithms, orderings, params_by_graph, algo_kwargs = (
+        _matrix_from_args(args)
+    )
+    frameworks = [f for f in args.frameworks.split(",") if f]
+    cells = []
+    for name in graphs:
         cells.extend(
             expand_matrix(
                 [name], algorithms, frameworks, orderings,
-                params=params, algo_kwargs=algo_kwargs,
+                params=params_by_graph[name], algo_kwargs=algo_kwargs,
                 backend=getattr(args, "backend", None),
             )
         )
@@ -453,27 +529,41 @@ def _cmd_sweep_run(args) -> int:
         print(f"[{n}/{total}] {cell.label()}: {tag}")
 
     t0 = time.perf_counter()
+    stats: dict = {}
     run_cells(
         cells,
         jobs=args.jobs,
         store=store,
         resume=args.resume,
         cache=cache if cache is not None else False,
+        dedup=not args.no_dedup,
         progress=progress,
+        stats=stats,
     )
     print(
         f"sweep complete: {counts['done']} computed, {counts['skipped']} "
         f"resumed from store, {time.perf_counter() - t0:.3f}s"
     )
+    if stats.get("groups") and not args.no_dedup:
+        # --no-dedup never consults or writes the trace store, so the
+        # hit/miss fragment would be misleading there.
+        print(
+            f"dedup: {stats['computed']} cell(s) priced from "
+            f"{stats['groups']} execution group(s) "
+            f"({stats['computed'] / stats['groups']:.1f} cells/execution); "
+            f"trace store: {stats['replayed']} replayed, "
+            f"{stats['executed']} executed fresh"
+        )
     return 0
 
 
 def _cmd_sweep_status(args) -> int:
-    from repro.experiments import ResultsStore
+    from repro.experiments import ResultsStore, group_cells
 
     cache = _resolve_cli_cache(args)
     out = _resolve_sweep_out(args, cache)
-    stored = ResultsStore(out).keys()
+    results_store = ResultsStore(out)
+    stored = results_store.keys()
     cells = _sweep_cells_from_args(args)
     per_graph: dict[str, list[int]] = {}
     completed = 0
@@ -488,12 +578,27 @@ def _cmd_sweep_status(args) -> int:
           f"pending {len(cells) - completed}")
     for name, (done, total) in per_graph.items():
         print(f"  {name:<14} {done}/{total}")
+    groups = group_cells(cells)
+    if groups:
+        print(
+            f"dedup: {len(cells)} cell(s) in {len(groups)} execution "
+            f"group(s) ({len(cells) / len(groups):.1f} cells/execution)"
+        )
+    provenance = results_store.dedup_stats()
+    tagged = provenance["replayed"] + provenance["fresh"]
+    if tagged:
+        line = (
+            f"trace store: {provenance['replayed']} hit(s) (cells priced "
+            f"from a stored trace), {provenance['fresh']} miss(es) "
+            f"(executed fresh)"
+        )
+        if provenance["untagged"]:
+            line += f", {provenance['untagged']} untagged"
+        print(line)
     return 0
 
 
 def _cmd_sweep_report(args) -> int:
-    import json
-
     from repro.errors import ResultsError
     from repro.experiments import ResultsStore
     from repro.metrics import render_report
@@ -515,11 +620,17 @@ def _cmd_sweep_report(args) -> int:
         print(f"no results in {out} (run `sweep run` to populate it)")
         return 0
     # One store may accumulate sweeps over different datasets/scales whose
-    # graphs share names; group by the recorded cell metadata so a report
-    # never averages a scale-0.5 baseline against a scale-1.0 target.
+    # graphs share names; group by the recorded cell *identity* metadata
+    # so a report never averages a scale-0.5 baseline against a scale-1.0
+    # target.  Provenance keys (trace_replayed) are excluded: a replayed
+    # cell is byte-identical to an executed one and must land in the same
+    # group.
     groups: dict[str | None, list] = {}
     for _key, meta, result in entries:
-        tag = json.dumps(meta, sort_keys=True) if meta else None
+        ident = {
+            k: v for k, v in (meta or {}).items() if k != "trace_replayed"
+        }
+        tag = json.dumps(ident, sort_keys=True) if ident else None
         groups.setdefault(tag, []).append(result)
     print(f"results store: {out}  ({len(entries)} cell(s))")
     for tag, results in groups.items():
@@ -527,6 +638,89 @@ def _cmd_sweep_report(args) -> int:
         if len(groups) > 1:
             print(f"-- sweep group: {tag or '(no metadata)'} --")
         print(render_report(results, baseline=args.baseline, target=args.target))
+    return 0
+
+
+def _cmd_traces_list(args) -> int:
+    import numpy as np
+
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print("cache: disabled; no trace store")
+        return 0
+    entries = [(k, key, s) for k, key, s in cache.entries() if k == "trace"]
+    print(f"trace store: {cache.root / 'trace'}  ({len(entries)} trace(s))")
+    if not entries:
+        return 0
+    print(f"{'key':<14} {'graph':<16} {'ordering':<10} {'algo':<6} "
+          f"{'P':>5} {'steps':>6} {'iters':>6} {'size':>10}")
+    for _kind, key, size in entries:
+        try:
+            with np.load(cache.path_for("trace", key), allow_pickle=False) as data:
+                meta = json.loads(str(data["meta_json"]))
+                steps = int(data["record_index"].shape[0])
+        except (OSError, ValueError, KeyError):
+            print(f"{key[:12] + '..':<14} (unreadable bundle)")
+            continue
+        labels = meta.get("labels", {})
+        print(
+            f"{key[:12] + '..':<14} {meta.get('graph_name', '?'):<16} "
+            f"{labels.get('ordering', '?'):<10} {meta.get('algorithm', '?'):<6} "
+            f"{meta.get('num_partitions', 0):>5} {steps:>6} "
+            f"{meta.get('iterations', 0):>6} {size:>9,}B"
+        )
+    return 0
+
+
+def _cmd_traces_build(args) -> int:
+    from repro import store
+    from repro.experiments import execute, prepare
+    from repro.frameworks.personality import ACCOUNTING_CHUNKS
+
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print(
+            "error: the trace store lives in the artifact cache; "
+            "`traces build` cannot run with caching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    partitions = args.partitions or ACCOUNTING_CHUNKS
+    graphs, algorithms, orderings, params_by_graph, algo_kwargs = (
+        _matrix_from_args(args)
+    )
+    built = replayed = 0
+    for name in graphs:
+        graph = store.load_graph(name, cache=cache, **params_by_graph[name])
+        for ordering in orderings:
+            prep = prepare(graph, ordering, partitions, cache=cache)
+            for algo in algorithms:
+                kwargs = algo_kwargs.get(algo, {})
+                t0 = time.perf_counter()
+                execution = execute(
+                    graph, algo, prepared=prep, num_partitions=partitions,
+                    traces=cache, refresh=args.refresh,
+                    backend=getattr(args, "backend", None), **kwargs,
+                )
+                dt = time.perf_counter() - t0
+                tag = "stored" if execution.replayed else "built"
+                built += not execution.replayed
+                replayed += execution.replayed
+                print(
+                    f"{name}/{ordering}/{algo}: {tag} "
+                    f"({len(execution.trace.records)} step(s), {dt:.3f}s)"
+                )
+    print(f"traces build: {built} executed, {replayed} already stored")
+    return 0
+
+
+def _cmd_traces_clean(args) -> int:
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print("cache: disabled; nothing to clean")
+        return 0
+    removed = cache.clean(kind="trace")
+    print(f"removed {len(removed)} trace(s) from {cache.root}")
     return 0
 
 
@@ -540,7 +734,7 @@ def _cmd_datasets_clean(args) -> int:
     return 0
 
 
-_SUBCOMMANDS = ("reorder", "datasets", "sweep")
+_SUBCOMMANDS = ("reorder", "datasets", "sweep", "traces")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -565,6 +759,13 @@ def main(argv: list[str] | None = None) -> int:
                 "status": _cmd_sweep_status,
                 "report": _cmd_sweep_report,
             }[args.sweep_command]
+            return handler(args)
+        if args.command == "traces":
+            handler = {
+                "list": _cmd_traces_list,
+                "build": _cmd_traces_build,
+                "clean": _cmd_traces_clean,
+            }[args.traces_command]
             return handler(args)
         if args.command == "reorder":
             return _cmd_reorder(args)

@@ -1,9 +1,13 @@
 """Experiment orchestration: configuration runner, sweeps and results.
 
 * :mod:`repro.experiments.runner` — one (graph, ordering, framework,
-  algorithm) cell end to end, plus the serial ``run_sweep`` inner loop;
+  algorithm) cell end to end, split into ``execute`` (produce or replay
+  a :class:`TraceExecution` via the persistent trace store) and
+  ``price`` (one framework personality), plus the serial ``run_sweep``
+  inner loop;
 * :mod:`repro.experiments.sweep` — the parallel, resumable orchestrator
-  that fans the full matrix out over a process pool;
+  that groups cells by execution identity (one execution, per-framework
+  pricing) and fans the matrix out over a process pool;
 * :mod:`repro.experiments.results` — the append-only on-disk results
   store that makes sweeps resumable and tables rebuildable from disk.
 """
@@ -12,13 +16,17 @@ from repro.experiments.results import ResultsStore, result_cell_key
 from repro.experiments.runner import (
     ExperimentResult,
     PreparedGraph,
+    TraceExecution,
+    execute,
     prepare,
+    price,
     run,
     run_sweep,
 )
 from repro.experiments.sweep import (
     SweepCell,
     expand_matrix,
+    group_cells,
     run_cells,
     run_matrix,
 )
@@ -28,8 +36,12 @@ __all__ = [
     "PreparedGraph",
     "ResultsStore",
     "SweepCell",
+    "TraceExecution",
+    "execute",
     "expand_matrix",
+    "group_cells",
     "prepare",
+    "price",
     "result_cell_key",
     "run",
     "run_cells",

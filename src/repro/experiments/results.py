@@ -178,6 +178,28 @@ class ResultsStore:
         """``{key: result}`` for every valid line, first occurrence wins."""
         return {key: result for key, _, result in self.entries()}
 
+    def dedup_stats(self) -> dict[str, int]:
+        """Trace-dedup provenance of the stored cells.
+
+        Each line's meta records whether its cell was priced from a trace
+        **replayed** out of the persistent trace store or from a **fresh**
+        execution (the trace-store miss path); lines written before the
+        meta existed count as **untagged**.  The result flag itself is
+        deliberately *not* part of the persisted ``result`` payload — a
+        replayed cell is byte-identical to an executed one — so provenance
+        lives here, in the meta channel.
+        """
+        stats = {"replayed": 0, "fresh": 0, "untagged": 0}
+        for _key, meta, _result in self.entries():
+            flag = (meta or {}).get("trace_replayed")
+            if flag is None:
+                stats["untagged"] += 1
+            elif flag:
+                stats["replayed"] += 1
+            else:
+                stats["fresh"] += 1
+        return stats
+
     def keys(self) -> set[str]:
         return {key for key, _, _ in self.entries()}
 

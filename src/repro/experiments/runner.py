@@ -36,7 +36,16 @@ from repro.machine.locality import measure_stream
 from repro.ordering import apply_ordering, get_ordering
 from repro.partition.algorithm1 import chunk_boundaries
 
-__all__ = ["ExperimentResult", "PreparedGraph", "prepare", "run", "run_sweep"]
+__all__ = [
+    "ExperimentResult",
+    "PreparedGraph",
+    "TraceExecution",
+    "execute",
+    "prepare",
+    "price",
+    "run",
+    "run_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,24 @@ class ExperimentResult:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ResultsError(f"malformed ExperimentResult payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class TraceExecution:
+    """One algorithm execution, decoupled from pricing.
+
+    The trace plus the iteration count are everything pricing needs from
+    the execution; ``replayed`` records whether they were loaded from the
+    persistent trace store (:mod:`repro.store.traces`) instead of
+    executed.  One execution prices under any framework personality —
+    they all account work at the same partition granularity — which is
+    what lets the sweep run each (graph, ordering, algorithm) cell once
+    and fan the trace out per framework.
+    """
+
+    trace: object            # WorkTrace
+    iterations: int
+    replayed: bool = False
 
 
 def _edge_order_for(framework: str, ordering: str) -> str:
@@ -184,42 +211,73 @@ def prepare(
     )
 
 
-def run(
+def _execute_algorithm(graph: Graph, algorithm: str, kwargs: dict):
+    """The single seam through which every algorithm execution flows.
+
+    Module-level (rather than inlined in :func:`execute`) so equivalence
+    tests can wrap it with an execution-counting spy and prove the dedup
+    sweep runs each (graph, ordering, algorithm) identity exactly once.
+    """
+    return ALGORITHMS[algorithm](graph, **kwargs)
+
+
+def execute(
     graph: Graph,
     algorithm: str,
-    framework: str | FrameworkModel,
     ordering: str = "original",
     prepared: PreparedGraph | None = None,
-    locality: tuple[float, float] | None = None,
+    num_partitions: int | None = None,
     cache: object = False,
+    traces: object = False,
+    refresh: bool = False,
     backend: str | None = None,
     **algo_kwargs,
-) -> ExperimentResult:
-    """Run one configuration and price it.
+) -> TraceExecution:
+    """Execute one (graph, ordering, algorithm) identity — or replay it.
 
-    ``prepared`` short-circuits the reordering when the caller sweeps many
-    algorithms over one prepared graph; ``cache`` opts the reordering into
-    the :mod:`repro.store` artifact cache instead.  ``backend`` picks the
-    engine implementation (:mod:`repro.frameworks.backends`; ``None``
-    defers to ``REPRO_BACKEND``) — backends are conformance-tested
-    bit-identical, so the resulting :class:`ExperimentResult` carries no
-    backend tag: the same cell computed under any backend is the same
-    result, only cheaper.
+    ``traces`` opts the execution into the persistent trace store (same
+    cache-handle convention as ``cache``): the store is consulted first
+    under the execution's content key (:func:`repro.store.trace_key` —
+    graph content, ordering, partition count, algorithm + kwargs; *not*
+    framework or backend), the algorithm runs only on a miss, and a fresh
+    trace is persisted for every later run.  ``refresh=True`` skips the
+    consult (re-execute and overwrite).  ``num_partitions`` defaults to
+    the shared accounting granularity every framework personality prices
+    at.
     """
-    fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
-    p = fw.default_partitions
+    if num_partitions is None:
+        from repro.frameworks.personality import ACCOUNTING_CHUNKS
+
+        num_partitions = ACCOUNTING_CHUNKS
+    ordering_name = prepared.ordering if prepared is not None else ordering
+    trace_store = None
+    key = None
+    if traces is not False:
+        from repro.store import load_trace, resolve_cache, trace_key
+
+        trace_store = resolve_cache(traces)
+        if trace_store is not None:
+            key = trace_key(
+                graph, algorithm, ordering_name, num_partitions, algo_kwargs
+            )
+            stored = None if refresh else load_trace(key, cache=trace_store)
+            if stored is not None:
+                return TraceExecution(
+                    trace=stored.trace,
+                    iterations=stored.iterations,
+                    replayed=True,
+                )
     if prepared is None:
-        prepared = prepare(graph, ordering, num_partitions=p, cache=cache)
+        prepared = prepare(graph, ordering, num_partitions=num_partitions, cache=cache)
     g = prepared.graph
 
-    if prepared.boundaries is not None and prepared.boundaries.size == p + 1:
+    if prepared.boundaries is not None and prepared.boundaries.size == num_partitions + 1:
         boundaries = prepared.boundaries
     else:
-        boundaries = chunk_boundaries(g.in_degrees(), p)
+        boundaries = chunk_boundaries(g.in_degrees(), num_partitions)
 
-    algo_fn = ALGORITHMS[algorithm]
     kwargs = dict(algo_kwargs)
-    kwargs["num_partitions"] = p
+    kwargs["num_partitions"] = num_partitions
     kwargs["boundaries"] = boundaries
     if backend is not None:
         kwargs["backend"] = backend
@@ -234,8 +292,36 @@ def run(
         if src_orig is None:
             src_orig = int(np.argmax(graph.out_degrees()))
         kwargs["source"] = int(prepared.perm[src_orig])
-    result = algo_fn(g, **kwargs)
+    result = _execute_algorithm(g, algorithm, kwargs)
 
+    if trace_store is not None:
+        from repro.store import save_trace
+
+        save_trace(
+            key, result.trace, result.iterations, cache=trace_store,
+            labels={"ordering": prepared.ordering},
+        )
+    return TraceExecution(
+        trace=result.trace, iterations=result.iterations, replayed=False
+    )
+
+
+def price(
+    execution: TraceExecution,
+    graph: Graph,
+    framework: str | FrameworkModel,
+    prepared: PreparedGraph,
+    locality: tuple[float, float] | None = None,
+) -> ExperimentResult:
+    """Price one execution under one framework personality.
+
+    Pricing is a pure function of (trace, layout, locality), so any
+    number of frameworks can price the same :class:`TraceExecution` —
+    fresh or replayed — and produce exactly what a dedicated end-to-end
+    :func:`run` would have.
+    """
+    fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
+    g = prepared.graph
     if locality is None:
         edge_order = _edge_order_for(fw.name, prepared.ordering)
         key = edge_order
@@ -251,17 +337,53 @@ def run(
                 memo[mkey] = pair
             prepared.locality[key] = pair
         locality = prepared.locality[key]
-    estimate = fw.price(result.trace, g, locality=locality)
+    estimate = fw.price(execution.trace, g, locality=locality)
     return ExperimentResult(
         graph=graph.name,
-        algorithm=algorithm,
+        algorithm=execution.trace.algorithm,
         framework=fw.name,
         ordering=prepared.ordering,
         seconds=estimate.seconds,
-        iterations=result.iterations,
+        iterations=execution.iterations,
         ordering_seconds=prepared.ordering_seconds,
         estimate=estimate,
     )
+
+
+def run(
+    graph: Graph,
+    algorithm: str,
+    framework: str | FrameworkModel,
+    ordering: str = "original",
+    prepared: PreparedGraph | None = None,
+    locality: tuple[float, float] | None = None,
+    cache: object = False,
+    traces: object = False,
+    backend: str | None = None,
+    **algo_kwargs,
+) -> ExperimentResult:
+    """Run one configuration and price it (= :func:`execute` + :func:`price`).
+
+    ``prepared`` short-circuits the reordering when the caller sweeps many
+    algorithms over one prepared graph; ``cache`` opts the reordering into
+    the :mod:`repro.store` artifact cache instead, and ``traces`` opts the
+    execution into the persistent trace store (the algorithm only runs
+    when no stored trace matches).  ``backend`` picks the engine
+    implementation (:mod:`repro.frameworks.backends`; ``None`` defers to
+    ``REPRO_BACKEND``) — backends are conformance-tested bit-identical,
+    so the resulting :class:`ExperimentResult` carries no backend tag:
+    the same cell computed under any backend is the same result, only
+    cheaper.
+    """
+    fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
+    p = fw.default_partitions
+    if prepared is None:
+        prepared = prepare(graph, ordering, num_partitions=p, cache=cache)
+    execution = execute(
+        graph, algorithm, prepared=prepared, num_partitions=p,
+        traces=traces, backend=backend, **algo_kwargs,
+    )
+    return price(execution, graph, fw, prepared, locality=locality)
 
 
 def run_sweep(

@@ -22,6 +22,19 @@ to the serial path — the equivalence the test suite pins down.  The one
 wall-clock field, ``ordering_seconds``, is byte-stable only when a shared
 artifact cache replays the recorded ordering; cache-less runs re-measure
 it per process.
+
+Scheduling is **trace-aware** (``dedup=True``, the default): cells are
+grouped by *execution identity* — (dataset, params, ordering, algorithm,
+algo kwargs, partition count), everything that determines what the
+algorithm does, which excludes the framework since all personalities
+price at the same accounting granularity — and each group executes its
+algorithm once (consulting the persistent trace store first, via
+:func:`repro.experiments.runner.execute`), then fans the trace out to
+per-framework pricing.  A full Ligra+Polymer+GraphGrind matrix therefore
+does one third of the semantic work, and a re-sweep over a warm trace
+store executes nothing at all.  ``dedup=False`` keeps the historical one
+-execution-per-cell path (no grouping, no trace store) — the two paths
+are differentially tested byte-identical.
 """
 
 from __future__ import annotations
@@ -33,9 +46,22 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import ResultsError
 from repro.experiments.results import ResultsStore, result_cell_key
-from repro.experiments.runner import ExperimentResult, PreparedGraph, prepare, run
+from repro.experiments.runner import (
+    ExperimentResult,
+    PreparedGraph,
+    execute,
+    prepare,
+    price,
+    run,
+)
 
-__all__ = ["SweepCell", "expand_matrix", "run_cells", "run_matrix"]
+__all__ = [
+    "SweepCell",
+    "expand_matrix",
+    "group_cells",
+    "run_cells",
+    "run_matrix",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +99,39 @@ class SweepCell:
 
     def label(self) -> str:
         return f"{self.dataset}/{self.framework}/{self.ordering}/{self.algorithm}"
+
+    def execution_identity(self) -> str:
+        """Everything that determines what the algorithm *does* — the
+        grouping key of trace-aware scheduling.  Two cells with the same
+        identity share one execution (and one stored trace); they may
+        differ only in how the work is priced.  The framework enters only
+        through its accounting partition count (shared by every built-in
+        personality); the backend is excluded outright (bit-identical by
+        conformance).  Uses the artifact cache's canonical hash scheme,
+        like :meth:`key` minus the framework."""
+        from repro.frameworks.personality import FRAMEWORKS
+        from repro.store.cache import artifact_key
+
+        return artifact_key(
+            "execution",
+            {
+                "dataset": self.dataset,
+                "params": dict(self.params),
+                "ordering": self.ordering,
+                "algorithm": self.algorithm,
+                "algo_kwargs": dict(self.algo_kwargs),
+                "num_partitions": FRAMEWORKS[self.framework].default_partitions,
+            },
+        )
+
+
+def group_cells(cells: Iterable[SweepCell]) -> list[list[SweepCell]]:
+    """Partition cells into execution groups, preserving first-seen order
+    both across groups and within each group."""
+    groups: dict[str, list[SweepCell]] = {}
+    for cell in cells:
+        groups.setdefault(cell.execution_identity(), []).append(cell)
+    return list(groups.values())
 
 
 def expand_matrix(
@@ -139,13 +198,8 @@ def expand_matrix(
 # cell execution (runs in workers for jobs > 1, inline for jobs == 1)
 # ----------------------------------------------------------------------
 
-def _compute_cell(
-    cell: SweepCell,
-    cache,
-    graphs: dict,
-    prepared: dict,
-) -> ExperimentResult:
-    """Price one cell, memoizing the graph and prepared ordering.
+def _load_group_context(cell: SweepCell, cache, graphs: dict, prepared: dict):
+    """Memoized (graph, prepared ordering) lookup for one cell.
 
     ``graphs``/``prepared`` are caller-owned memo dicts: per-process
     globals in pool workers, per-call locals in the inline path.  Memory
@@ -170,16 +224,62 @@ def _compute_cell(
         prepared[pkey] = prepare(
             graph, cell.ordering, fw.default_partitions, cache=cache
         )
-    prep: PreparedGraph = prepared[pkey]
+    return graph, prepared[pkey]
+
+
+def _compute_cell(
+    cell: SweepCell,
+    cache,
+    graphs: dict,
+    prepared: dict,
+) -> ExperimentResult:
+    """Price one cell end to end — the historical (``dedup=False``) path:
+    one execution per cell, no trace store."""
+    from repro.frameworks.personality import FRAMEWORKS
+
+    graph, prep = _load_group_context(cell, cache, graphs, prepared)
     return run(
         graph,
         cell.algorithm,
-        fw,
+        FRAMEWORKS[cell.framework],
         ordering=cell.ordering,
         prepared=prep,
         backend=cell.backend,
         **cell.algo_kwargs,
     )
+
+
+def _compute_group(
+    group: list[SweepCell],
+    cache,
+    graphs: dict,
+    prepared: dict,
+) -> tuple[list[ExperimentResult], bool]:
+    """Execute one group's algorithm once, price it under every cell's
+    framework.  Returns the per-cell results (in group order) plus
+    whether the execution was replayed from the trace store.
+
+    The trace store rides in the same artifact cache as everything else;
+    cache-less runs still dedup (one fresh execution fans out to every
+    framework) but persist nothing."""
+    from repro.frameworks.personality import FRAMEWORKS
+
+    first = group[0]
+    graph, prep = _load_group_context(first, cache, graphs, prepared)
+    execution = execute(
+        graph,
+        first.algorithm,
+        prepared=prep,
+        num_partitions=FRAMEWORKS[first.framework].default_partitions,
+        traces=cache,
+        backend=first.backend,
+        **first.algo_kwargs,
+    )
+    results = [
+        price(execution, graph, FRAMEWORKS[cell.framework], prep)
+        for cell in group
+    ]
+    return results, execution.replayed
 
 
 # Per-worker-process memos: populated lazily, shared across every cell the
@@ -189,7 +289,8 @@ _WORKER_PREPARED: dict = {}
 
 
 def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
-    """Pool entry point: compute one cell, return its serialized result.
+    """Pool entry point (``dedup=False``): compute one cell, return its
+    serialized result.
 
     ``cache_root`` rather than a cache object crosses the process
     boundary, keeping the task payload picklable under every start
@@ -200,6 +301,20 @@ def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
     cache = ArtifactCache(cache_root) if cache_root is not None else False
     result = _compute_cell(cell, cache, _WORKER_GRAPHS, _WORKER_PREPARED)
     return result.to_dict()
+
+
+def _worker_run_group(group: list[SweepCell], cache_root: str | None) -> dict:
+    """Pool entry point (``dedup=True``): one execution, per-cell pricing.
+
+    Returns the serialized results in group order plus the replay flag
+    (one flag for the whole group: its cells share the execution)."""
+    from repro.store import ArtifactCache
+
+    cache = ArtifactCache(cache_root) if cache_root is not None else False
+    results, replayed = _compute_group(
+        group, cache, _WORKER_GRAPHS, _WORKER_PREPARED
+    )
+    return {"results": [r.to_dict() for r in results], "replayed": replayed}
 
 
 # ----------------------------------------------------------------------
@@ -216,19 +331,33 @@ def run_cells(
     store: "ResultsStore | str | os.PathLike | None" = None,
     resume: bool = True,
     cache=None,
+    dedup: bool = True,
     progress: ProgressFn | None = None,
+    stats: dict | None = None,
 ) -> list[ExperimentResult]:
     """Execute ``cells``, returning results in the given cell order.
 
     ``store`` (a :class:`ResultsStore` or a path) persists each completed
     cell as it finishes; with ``resume=True`` cells whose key is already
     present are *not* re-run — their stored results are returned in place.
-    ``jobs`` > 1 fans pending cells out over a process pool; ``jobs`` <= 1
-    runs inline (no pool, still through the identical cell code path).
+    ``jobs`` > 1 fans pending work out over a process pool; ``jobs`` <= 1
+    runs inline (no pool, still through the identical code path).
     ``cache`` is the usual artifact-cache convention
     (:func:`repro.store.resolve_cache`); workers share it, so orderings
     computed by one worker are warm for every other.
+
+    ``dedup=True`` (default) schedules by execution group: each (graph,
+    ordering, algorithm) identity executes once — consulting the
+    persistent trace store first when the cache is enabled — and every
+    framework prices the shared trace.  ``dedup=False`` is the historical
+    one-execution-per-cell path, kept as the differential baseline.  The
+    two are byte-identical in everything they persist.
+
     ``progress(cell, result, skipped)`` is invoked once per cell.
+    ``stats``, when given, is filled with dedup accounting: targeted
+    ``cells``, ``resumed``/``computed`` counts, pending execution
+    ``groups``, and how many groups were ``executed`` fresh vs
+    ``replayed`` from the trace store.
     """
     from repro.store import resolve_cache
 
@@ -244,9 +373,11 @@ def run_cells(
     results: dict[str, ExperimentResult] = {}
     pending: list[tuple[SweepCell, str]] = []
     seen: set[str] = set()
+    resumed = 0
     for cell, key in keyed:
         if key in done:
             results[key] = done[key]
+            resumed += 1
             if progress is not None:
                 progress(cell, done[key], True)
         elif key not in seen:
@@ -255,54 +386,97 @@ def run_cells(
 
     resolved = resolve_cache(cache)
     cache_root = str(resolved.root) if resolved is not None else None
+    counters = {"executed": 0, "replayed": 0}
 
-    def record(cell: SweepCell, key: str, result: ExperimentResult) -> None:
+    key_of = dict((id(cell), key) for cell, key in pending)
+    groups = group_cells(cell for cell, _ in pending) if dedup else [
+        [cell] for cell, _ in pending
+    ]
+
+    def record(cell: SweepCell, key: str, result: ExperimentResult,
+               replayed: bool) -> None:
         results[key] = result
         if store is not None:
             store.append(
-                key, result, meta={"dataset": cell.dataset, "params": cell.params}
+                key, result,
+                meta={
+                    "dataset": cell.dataset,
+                    "params": cell.params,
+                    "trace_replayed": bool(replayed),
+                },
             )
         if progress is not None:
             progress(cell, result, False)
 
-    if jobs <= 1 or len(pending) <= 1:
+    def record_group(group: list[SweepCell], group_results, replayed: bool) -> None:
+        counters["replayed" if replayed else "executed"] += 1
+        for cell, result in zip(group, group_results):
+            record(cell, key_of[id(cell)], result, replayed)
+
+    if jobs <= 1 or len(groups) <= 1:
         graphs: dict = {}
         prepared: dict = {}
         cache_arg = resolved if resolved is not None else False
-        for cell, key in pending:
-            record(cell, key, _compute_cell(cell, cache_arg, graphs, prepared))
+        for group in groups:
+            if dedup:
+                group_results, replayed = _compute_group(
+                    group, cache_arg, graphs, prepared
+                )
+            else:
+                group_results, replayed = (
+                    [_compute_cell(group[0], cache_arg, graphs, prepared)],
+                    False,
+                )
+            record_group(group, group_results, replayed)
     else:
-        # Sort the dispatch queue so cells sharing a (graph, ordering) land
-        # contiguously — workers pulling neighbouring tasks reuse their
-        # per-process prepared-graph memos instead of reordering again.
+        # Sort the dispatch queue so groups sharing a (graph, ordering)
+        # land contiguously — workers pulling neighbouring tasks reuse
+        # their per-process prepared-graph memos instead of reordering
+        # again.
         queue = sorted(
-            pending, key=lambda ck: (ck[0].dataset, ck[0].ordering, ck[0].framework)
+            groups,
+            key=lambda g: (g[0].dataset, g[0].ordering, g[0].framework),
         )
         failure: tuple[SweepCell, BaseException] | None = None
         with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
-            futures = {
-                pool.submit(_worker_run_cell, cell, cache_root): (cell, key)
-                for cell, key in queue
-            }
+            if dedup:
+                futures = {
+                    pool.submit(_worker_run_group, group, cache_root): group
+                    for group in queue
+                }
+            else:
+                futures = {
+                    pool.submit(_worker_run_cell, group[0], cache_root): group
+                    for group in queue
+                }
             outstanding = set(futures)
             while outstanding:
                 finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                # Persist the moment each cell lands: an interruption now
-                # costs only the cells still in flight.  A failed cell must
-                # not discard its siblings' work — cancel what has not
+                # Persist the moment each group lands: an interruption now
+                # costs only the work still in flight.  A failed group must
+                # not discard its siblings' results — cancel what has not
                 # started, keep draining and persisting what has, and
                 # raise only once everything that finished is on disk.
                 for fut in finished:
-                    cell, key = futures[fut]
+                    group = futures[fut]
                     try:
                         payload = fut.result()
                     except BaseException as exc:  # worker died or raised
                         if failure is None:
-                            failure = (cell, exc)
+                            failure = (group[0], exc)
                             for f in outstanding:
                                 f.cancel()
                         continue
-                    record(cell, key, ExperimentResult.from_dict(payload))
+                    if dedup:
+                        record_group(
+                            group,
+                            [ExperimentResult.from_dict(d) for d in payload["results"]],
+                            payload["replayed"],
+                        )
+                    else:
+                        record_group(
+                            group, [ExperimentResult.from_dict(payload)], False
+                        )
                 outstanding = {f for f in outstanding if not f.cancelled()}
         if failure is not None:
             cell, exc = failure
@@ -311,6 +485,15 @@ def run_cells(
                 f"({len(results)} completed cell(s) were persisted)"
             ) from exc
 
+    if stats is not None:
+        stats.update(
+            cells=len(keyed),
+            resumed=resumed,
+            computed=sum(len(g) for g in groups),
+            groups=len(groups),
+            executed=counters["executed"],
+            replayed=counters["replayed"],
+        )
     missing = [cell.label() for cell, key in keyed if key not in results]
     if missing:  # pragma: no cover - defensive; pool errors raise above
         raise ResultsError(f"sweep finished with uncomputed cells: {missing}")
@@ -330,7 +513,9 @@ def run_matrix(
     store: "ResultsStore | str | os.PathLike | None" = None,
     resume: bool = True,
     cache=None,
+    dedup: bool = True,
     progress: ProgressFn | None = None,
+    stats: dict | None = None,
 ) -> list[ExperimentResult]:
     """Expand a full matrix and execute it (see :func:`run_cells`).
 
@@ -343,5 +528,6 @@ def run_matrix(
         params=params, algo_kwargs=algo_kwargs, backend=backend,
     )
     return run_cells(
-        cells, jobs=jobs, store=store, resume=resume, cache=cache, progress=progress
+        cells, jobs=jobs, store=store, resume=resume, cache=cache,
+        dedup=dedup, progress=progress, stats=stats,
     )

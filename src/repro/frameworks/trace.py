@@ -17,7 +17,27 @@ import numpy as np
 
 from repro.frameworks.frontier import DensityClass
 
-__all__ = ["IterationRecord", "WorkTrace"]
+__all__ = [
+    "DENSITY_CODES",
+    "DENSITY_FROM_CODE",
+    "IterationRecord",
+    "WorkTrace",
+    "record_fingerprint",
+    "records_equal",
+    "traces_equal",
+]
+
+#: Serialization contract for :class:`DensityClass`: each enum member has a
+#: stable small-int code used by the on-disk trace bundles
+#: (:mod:`repro.store.traces`).  Codes are append-only — a new density
+#: class gets a new code, existing codes never change meaning — so any
+#: persisted trace stays readable.
+DENSITY_CODES: dict[DensityClass, int] = {
+    DensityClass.DENSE: 0,
+    DensityClass.MEDIUM: 1,
+    DensityClass.SPARSE: 2,
+}
+DENSITY_FROM_CODE: dict[int, DensityClass] = {v: k for k, v in DENSITY_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -44,6 +64,57 @@ class IterationRecord:
 
     def total_edges(self) -> int:
         return int(self.part_edges.sum())
+
+
+# ----------------------------------------------------------------------
+# Serialization contract helpers (see repro.store.traces for the bundle
+# layout).  A record is identified *bitwise*: float fields compare by
+# their IEEE-754 bytes, so NaN == NaN (same payload), -0.0 != +0.0, and
+# the -1.0 "not measured" miss sentinels survive exactly.  Bitwise
+# identity is what "lossless round-trip" means for a trace.
+# ----------------------------------------------------------------------
+
+def record_fingerprint(rec: IterationRecord) -> bytes:
+    """Canonical byte string identifying a record's exact contents.
+
+    Two records with the same fingerprint are interchangeable for both
+    replay and pricing; the trace bundles use this to share one stored
+    copy of repeated records (e.g. the identical dense steps of an
+    iterative algorithm).
+    """
+    parts = [
+        rec.kind.encode(), rec.direction.encode(),
+        str(DENSITY_CODES[rec.density]).encode(),
+        str(int(rec.active_vertices)).encode(),
+        str(int(rec.active_edges)).encode(),
+        np.float64(rec.src_miss).tobytes(),
+        np.float64(rec.dst_miss).tobytes(),
+    ]
+    for arr in (rec.part_edges, rec.part_dsts, rec.part_srcs, rec.part_vertices):
+        a = np.asarray(arr)
+        parts.append(str(a.dtype).encode())
+        parts.append(str(a.shape).encode())
+        parts.append(a.tobytes())
+    # Every variable-length field is delimited: without the separators,
+    # adjacent decimal strings could collide ('1'+'23' == '12'+'3') and
+    # alias two distinct records into one.
+    return b"\0".join(parts)
+
+
+def records_equal(a: IterationRecord, b: IterationRecord) -> bool:
+    """Bitwise equality of two records (NaN-safe, sentinel-exact)."""
+    return record_fingerprint(a) == record_fingerprint(b)
+
+
+def traces_equal(a: "WorkTrace", b: "WorkTrace") -> bool:
+    """Bitwise equality of two traces: metadata and every record."""
+    return (
+        a.algorithm == b.algorithm
+        and a.graph_name == b.graph_name
+        and a.num_partitions == b.num_partitions
+        and len(a.records) == len(b.records)
+        and all(records_equal(x, y) for x, y in zip(a.records, b.records))
+    )
 
 
 @dataclass

@@ -1,11 +1,12 @@
 """``repro.store`` — dataset registry + on-disk artifact cache.
 
 The store is the warm path under every benchmark and example: graphs,
-VEBO (or baseline) orderings, chunk partitions and COO edge orders are
-deterministic functions of a dataset spec and build parameters, so the
-store builds each artifact once, persists it as an ``.npz`` bundle keyed
-by a content hash (:mod:`repro.store.cache`), and replays it from disk on
-every later request.
+VEBO (or baseline) orderings, chunk partitions, COO edge orders and
+execution traces (:mod:`repro.store.traces`) are deterministic functions
+of a dataset spec and build parameters, so the store builds each
+artifact once, persists it as an ``.npz`` bundle keyed by a content hash
+(:mod:`repro.store.cache`), and replays it from disk on every later
+request.
 
 Quickstart
 ----------
@@ -45,12 +46,23 @@ from repro.store.registry import (
     register_file_dataset,
 )
 from repro.store import serialization as ser
+from repro.store.traces import (
+    TRACE_KEY_VERSION,
+    StoredTrace,
+    load_trace,
+    pack_trace,
+    save_trace,
+    trace_key,
+    unpack_trace,
+)
 
 __all__ = [
     "ARTIFACT_KINDS",
     "ArtifactCache",
     "DATASET_REGISTRY",
     "DatasetSpec",
+    "StoredTrace",
+    "TRACE_KEY_VERSION",
     "artifact_key",
     "array_fingerprint",
     "available_datasets",
@@ -62,10 +74,15 @@ __all__ = [
     "get_dataset",
     "iter_edge_chunks",
     "load_graph",
+    "load_trace",
+    "pack_trace",
     "read_edge_list_chunked",
     "register_dataset",
     "register_file_dataset",
     "resolve_cache",
+    "save_trace",
+    "trace_key",
+    "unpack_trace",
 ]
 
 

@@ -17,6 +17,7 @@ Layout on disk::
         ordering/<40-hex-key>.npz
         partition/<40-hex-key>.npz
         edgeorder/<40-hex-key>.npz
+        trace/<40-hex-key>.npz
 
 Every bundle embeds a magic marker (``__repro_cache__``) so
 :meth:`ArtifactCache.clean` can prove a file is cache-owned before deleting
@@ -62,7 +63,7 @@ MAGIC_FIELD = "__repro_cache__"
 MAGIC_VALUE = "repro-artifact-v1"
 
 #: The artifact families the cache knows how to segregate on disk.
-ARTIFACT_KINDS = ("graph", "ordering", "partition", "edgeorder")
+ARTIFACT_KINDS = ("graph", "ordering", "partition", "edgeorder", "trace")
 
 _KEY_HEX_CHARS = 40  # truncated SHA-256; 160 bits is ample for a local cache
 

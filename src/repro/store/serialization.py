@@ -24,6 +24,7 @@ property the cache tests pin down.
 from __future__ import annotations
 
 import json
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -62,6 +63,12 @@ def _require(arrays: dict, *names: str) -> list[np.ndarray]:
         raise CacheError(f"artifact bundle missing array {exc}") from exc
 
 
+#: Graph -> fingerprint.  Graphs are immutable, so the digest is computed
+#: once per loaded graph per process — warm trace-replay sweeps key many
+#: executions off one graph and must not re-hash O(m) arrays each time.
+_FINGERPRINT_MEMO: "WeakKeyDictionary[Graph, str]" = WeakKeyDictionary()
+
+
 def graph_fingerprint(graph: Graph) -> str:
     """Content digest of a graph's structure (CSR arrays).
 
@@ -71,7 +78,11 @@ def graph_fingerprint(graph: Graph) -> str:
     """
     from repro.store.cache import array_fingerprint
 
-    return array_fingerprint(graph.csr.offsets, graph.csr.adj)
+    cached = _FINGERPRINT_MEMO.get(graph)
+    if cached is None:
+        cached = array_fingerprint(graph.csr.offsets, graph.csr.adj)
+        _FINGERPRINT_MEMO[graph] = cached
+    return cached
 
 
 # ----------------------------------------------------------------------
