@@ -43,6 +43,20 @@ numbers.
 A built trace covers one (graph, ordering, algorithm) execution identity
 and prices under *every* framework personality, so a warm trace store
 turns a full sweep into pure pricing — no algorithm executes at all.
+
+``vebo-reorder sweep reprice`` is that promise as a command: given a warm
+trace store, it prices the full (framework x machine) matrix —
+``--machines`` selects machine personalities from the
+:mod:`repro.machine.models` registry (default: all of them) — with
+**zero** fresh executions, and errors out loudly on any trace miss
+instead of quietly executing::
+
+    vebo-reorder traces build --graphs twitter --algorithms PR,BFS
+    vebo-reorder sweep reprice --graphs twitter --algorithms PR,BFS \\
+        --machines paper-xeon,laptop,big-numa --out repriced.jsonl
+    vebo-reorder sweep report --out repriced.jsonl
+
+``vebo-reorder machines list`` shows the registered machine models.
 """
 
 from __future__ import annotations
@@ -198,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
     tclean = tsub.add_parser("clean", help="delete stored execution traces")
     _add_cache_flags(tclean)
 
+    machines = sub.add_parser(
+        "machines",
+        help="list the registered machine models sweeps can (re)price on",
+    )
+    msub = machines.add_subparsers(dest="machines_command", required=True)
+    msub.add_parser("list", help="show the machine-model registry")
+
     sweep = sub.add_parser(
         "sweep",
         help="run/inspect the parallel resumable Table III sweep",
@@ -241,6 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_out_flag(sstatus)
     _add_cache_flags(sstatus)
 
+    sreprice = ssub.add_parser(
+        "reprice",
+        help="price the (framework x machine) matrix from the warm trace "
+        "store with ZERO executions (errors on any trace miss)",
+    )
+    _add_matrix_flags(sreprice)
+    sreprice.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1; pricing is cheap, 1 is fine)",
+    )
+    _add_sweep_out_flag(sreprice)
+    _add_cache_flags(sreprice)
+
     sreport = ssub.add_parser(
         "report", help="rebuild the runtime matrix + headline speedups from disk"
     )
@@ -278,6 +312,12 @@ def _add_matrix_flags(parser: argparse.ArgumentParser, frameworks: bool = True) 
         parser.add_argument(
             "--frameworks", default="ligra,polymer,graphgrind", metavar="A,B,...",
             help="framework personalities (default: all three)",
+        )
+        parser.add_argument(
+            "--machines", default=None, metavar="A,B,...",
+            help="machine models to price on (see `machines list`; "
+            "default: paper-xeon — `sweep reprice` defaults to every "
+            "registered machine)",
         )
     parser.add_argument(
         "--orderings", default="original,vebo", metavar="A,B,...",
@@ -466,7 +506,18 @@ def _matrix_from_args(args):
     return graphs, algorithms, orderings, params_by_graph, algo_kwargs
 
 
-def _sweep_cells_from_args(args):
+def _machines_from_args(args, default: "list[str] | None" = None) -> list[str]:
+    """Parse --machines; ``default`` is used when the flag was omitted
+    (``None`` -> just the default paper machine)."""
+    from repro.machine.models import DEFAULT_MACHINE
+
+    raw = getattr(args, "machines", None)
+    if raw:
+        return [m for m in raw.split(",") if m]
+    return list(default) if default is not None else [DEFAULT_MACHINE]
+
+
+def _sweep_cells_from_args(args, default_machines: "list[str] | None" = None):
     """Expand the CLI matrix flags into sweep cells."""
     from repro.experiments import expand_matrix
 
@@ -474,6 +525,7 @@ def _sweep_cells_from_args(args):
         _matrix_from_args(args)
     )
     frameworks = [f for f in args.frameworks.split(",") if f]
+    machines = _machines_from_args(args, default=default_machines)
     cells = []
     for name in graphs:
         cells.extend(
@@ -481,6 +533,7 @@ def _sweep_cells_from_args(args):
                 [name], algorithms, frameworks, orderings,
                 params=params_by_graph[name], algo_kwargs=algo_kwargs,
                 backend=getattr(args, "backend", None),
+                machines=machines,
             )
         )
     return cells
@@ -554,6 +607,82 @@ def _cmd_sweep_run(args) -> int:
             f"trace store: {stats['replayed']} replayed, "
             f"{stats['executed']} executed fresh"
         )
+    return 0
+
+
+def _cmd_sweep_reprice(args) -> int:
+    """Price the (framework x machine) matrix from the warm trace store.
+
+    The contract: **zero** algorithm executions.  Every execution group
+    must replay from the persistent trace store; a miss aborts the whole
+    command with a pointer at `traces build` instead of quietly running
+    the algorithm.  Cells already in the results store are skipped
+    (repricing is idempotent), so the command composes with earlier
+    sweeps and with itself.
+    """
+    from repro.experiments import ResultsStore, run_cells
+    from repro.machine.models import available_machines
+
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print(
+            "error: `sweep reprice` replays the trace store, which lives in "
+            "the artifact cache; it cannot run with caching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    out = _resolve_sweep_out(args, cache)
+    store = ResultsStore(out)
+    machines = _machines_from_args(args, default=available_machines())
+    cells = _sweep_cells_from_args(args, default_machines=machines)
+    total = len(cells)
+    print(
+        f"reprice: {total} cell(s) across {len(machines)} machine model(s) "
+        f"({', '.join(machines)}) -> {out}  (jobs={args.jobs})"
+    )
+    counts = {"done": 0, "skipped": 0}
+
+    def progress(cell, result, skipped):
+        counts["skipped" if skipped else "done"] += 1
+        tag = "cached" if skipped else f"{result.seconds:.4g}s"
+        n = counts["done"] + counts["skipped"]
+        print(f"[{n}/{total}] {cell.label()}: {tag}")
+
+    t0 = time.perf_counter()
+    stats: dict = {}
+    run_cells(
+        cells,
+        jobs=args.jobs,
+        store=store,
+        resume=True,
+        cache=cache,
+        dedup=True,
+        replay_only=True,
+        progress=progress,
+        stats=stats,
+    )
+    print(
+        f"reprice complete: {counts['done']} cell(s) priced from "
+        f"{stats['replayed']} stored trace(s), {counts['skipped']} already "
+        f"in the store, {stats['executed']} executed fresh, "
+        f"{time.perf_counter() - t0:.3f}s"
+    )
+    return 0
+
+
+def _cmd_machines_list(args) -> int:
+    from repro.machine.models import DEFAULT_MACHINE, MACHINES
+
+    print(f"{'name':<12} {'sockets':>7} {'thr/skt':>7} {'threads':>7} "
+          f"{'miss pen':>8} {'remote':>6} {'scale':>5}  description")
+    for name, m in MACHINES.items():
+        tag = f"{name}*" if name == DEFAULT_MACHINE else name
+        print(
+            f"{tag:<12} {m.num_sockets:>7} {m.threads_per_socket:>7} "
+            f"{m.num_threads:>7} {m.miss_penalty:>8.1f} {m.remote_factor:>6.1f} "
+            f"{m.time_scale:>5.2f}  {m.description}"
+        )
+    print("(* default: derives the paper-calibrated coefficients bit for bit)")
     return 0
 
 
@@ -734,7 +863,7 @@ def _cmd_datasets_clean(args) -> int:
     return 0
 
 
-_SUBCOMMANDS = ("reorder", "datasets", "sweep", "traces")
+_SUBCOMMANDS = ("reorder", "datasets", "sweep", "traces", "machines")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -758,8 +887,11 @@ def main(argv: list[str] | None = None) -> int:
                 "run": _cmd_sweep_run,
                 "status": _cmd_sweep_status,
                 "report": _cmd_sweep_report,
+                "reprice": _cmd_sweep_reprice,
             }[args.sweep_command]
             return handler(args)
+        if args.command == "machines":
+            return _cmd_machines_list(args)
         if args.command == "traces":
             handler = {
                 "list": _cmd_traces_list,

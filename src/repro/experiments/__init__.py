@@ -3,11 +3,13 @@
 * :mod:`repro.experiments.runner` — one (graph, ordering, framework,
   algorithm) cell end to end, split into ``execute`` (produce or replay
   a :class:`TraceExecution` via the persistent trace store) and
-  ``price`` (one framework personality), plus the serial ``run_sweep``
-  inner loop;
+  ``price`` (one framework personality on one machine model), plus the
+  serial ``run_sweep`` inner loop;
 * :mod:`repro.experiments.sweep` — the parallel, resumable orchestrator
-  that groups cells by execution identity (one execution, per-framework
-  pricing) and fans the matrix out over a process pool;
+  that groups cells by execution identity (one execution, pricing fanned
+  out per (framework, machine) pair — ``replay_only`` turns it into the
+  zero-execution ``sweep reprice`` engine) and fans the matrix out over
+  a process pool;
 * :mod:`repro.experiments.results` — the append-only on-disk results
   store that makes sweeps resumable and tables rebuildable from disk.
 """

@@ -32,15 +32,18 @@ from typing import Iterator
 
 from repro.errors import ReproError, ResultsError
 from repro.experiments.runner import ExperimentResult
+from repro.machine.models import DEFAULT_MACHINE
 
 __all__ = ["RESULTS_KEY_VERSION", "ResultsStore", "result_cell_key"]
 
 #: Version component of every cell key.  The key otherwise hashes only the
-#: cell's *inputs* (dataset, params, algorithm, framework, ordering), so a
-#: change to the pricing model itself would replay stale results forever —
-#: bump this whenever the cost model / personalities / engine accounting
-#: change what a cell's numbers mean, and every store invalidates at once.
-RESULTS_KEY_VERSION = 1
+#: cell's *inputs* (dataset, params, algorithm, framework, ordering,
+#: machine), so a change to the pricing model itself would replay stale
+#: results forever — bump this whenever the cost model / personalities /
+#: engine accounting change what a cell's numbers mean, and every store
+#: invalidates at once.  v2: the machine dimension joined the key (pre-v2
+#: results carried an implicit paper-xeon machine).
+RESULTS_KEY_VERSION = 2
 
 
 def result_cell_key(
@@ -50,13 +53,15 @@ def result_cell_key(
     ordering: str,
     params: dict | None = None,
     algo_kwargs: dict | None = None,
+    machine: str = DEFAULT_MACHINE,
 ) -> str:
     """Content-hash key of one sweep cell.
 
     Uses the artifact cache's canonical scheme (``kind="result"``), so the
     key changes iff any identifying input changes: the dataset and its
     build parameters (scale, seed, ...), the algorithm and its kwargs, the
-    framework, the ordering — or :data:`RESULTS_KEY_VERSION`.
+    framework, the ordering, the machine personality the cell is priced
+    on — or :data:`RESULTS_KEY_VERSION`.
     """
     from repro.store.cache import artifact_key
 
@@ -69,6 +74,7 @@ def result_cell_key(
             "algorithm": algorithm,
             "framework": framework,
             "ordering": ordering,
+            "machine": machine,
             "algo_kwargs": dict(algo_kwargs or {}),
         },
     )

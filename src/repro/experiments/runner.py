@@ -33,6 +33,7 @@ from repro.graph.coo import COOEdges
 from repro.graph.csr import Graph
 from repro.edgeorder.hilbert import hilbert_order_edges
 from repro.machine.locality import measure_stream
+from repro.machine.models import DEFAULT_MACHINE, MachineModel, resolve_machine
 from repro.ordering import apply_ordering, get_ordering
 from repro.partition.algorithm1 import chunk_boundaries
 
@@ -63,7 +64,12 @@ class PreparedGraph:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """One cell of Table III (plus the trace behind it)."""
+    """One cell of Table III (plus the trace behind it).
+
+    ``machine`` names the machine personality the cell was priced on
+    (:mod:`repro.machine.models`) — a pricing dimension exactly like
+    ``framework``, never part of the execution's identity.
+    """
 
     graph: str
     algorithm: str
@@ -73,6 +79,7 @@ class ExperimentResult:
     iterations: int
     ordering_seconds: float
     estimate: RuntimeEstimate
+    machine: str = DEFAULT_MACHINE
 
     def to_dict(self) -> dict:
         """JSON-representable encoding (lossless; see
@@ -82,6 +89,7 @@ class ExperimentResult:
             "algorithm": self.algorithm,
             "framework": self.framework,
             "ordering": self.ordering,
+            "machine": self.machine,
             "seconds": float(self.seconds),
             "iterations": int(self.iterations),
             "ordering_seconds": float(self.ordering_seconds),
@@ -98,6 +106,10 @@ class ExperimentResult:
                 algorithm=str(data["algorithm"]),
                 framework=str(data["framework"]),
                 ordering=str(data["ordering"]),
+                # Payloads persisted before the machine layer carry no
+                # machine tag; they were priced on the (default) paper
+                # machine by construction.
+                machine=str(data.get("machine", DEFAULT_MACHINE)),
                 seconds=float(data["seconds"]),
                 iterations=int(data["iterations"]),
                 ordering_seconds=float(data["ordering_seconds"]),
@@ -231,6 +243,7 @@ def execute(
     traces: object = False,
     refresh: bool = False,
     backend: str | None = None,
+    replay_only: bool = False,
     **algo_kwargs,
 ) -> TraceExecution:
     """Execute one (graph, ordering, algorithm) identity — or replay it.
@@ -244,6 +257,10 @@ def execute(
     consult (re-execute and overwrite).  ``num_partitions`` defaults to
     the shared accounting granularity every framework personality prices
     at.
+
+    ``replay_only=True`` turns a trace-store miss into an error instead
+    of an execution — the contract behind ``sweep reprice``, which
+    promises to price a matrix without running a single algorithm.
     """
     if num_partitions is None:
         from repro.frameworks.personality import ACCOUNTING_CHUNKS
@@ -267,6 +284,19 @@ def execute(
                     iterations=stored.iterations,
                     replayed=True,
                 )
+    if replay_only:
+        from repro.errors import ResultsError
+
+        where = (
+            f"trace store at {trace_store.root}" if trace_store is not None
+            else "disabled trace store"
+        )
+        raise ResultsError(
+            f"replay-only execution of {graph.name}/{ordering_name}/"
+            f"{algorithm} (P={num_partitions}) missed the {where}; "
+            "pre-warm it with `traces build` (matching graphs, orderings, "
+            "algorithms and scale) or run a regular `sweep run` first"
+        )
     if prepared is None:
         prepared = prepare(graph, ordering, num_partitions=num_partitions, cache=cache)
     g = prepared.graph
@@ -312,15 +342,20 @@ def price(
     framework: str | FrameworkModel,
     prepared: PreparedGraph,
     locality: tuple[float, float] | None = None,
+    machine: str | MachineModel | None = None,
 ) -> ExperimentResult:
-    """Price one execution under one framework personality.
+    """Price one execution under one framework personality on one machine.
 
-    Pricing is a pure function of (trace, layout, locality), so any
-    number of frameworks can price the same :class:`TraceExecution` —
-    fresh or replayed — and produce exactly what a dedicated end-to-end
-    :func:`run` would have.
+    Pricing is a pure function of (trace, layout, locality, machine), so
+    any number of (framework, machine) pairs can price the same
+    :class:`TraceExecution` — fresh or replayed — and produce exactly what
+    a dedicated end-to-end :func:`run` would have.  ``machine`` is a
+    registry name or :class:`~repro.machine.models.MachineModel`; ``None``
+    is the paper machine, which prices byte-identically to the
+    pre-machine-layer code path.
     """
     fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
+    machine_model = resolve_machine(machine)
     g = prepared.graph
     if locality is None:
         edge_order = _edge_order_for(fw.name, prepared.ordering)
@@ -337,12 +372,13 @@ def price(
                 memo[mkey] = pair
             prepared.locality[key] = pair
         locality = prepared.locality[key]
-    estimate = fw.price(execution.trace, g, locality=locality)
+    estimate = fw.on_machine(machine_model).price(execution.trace, g, locality=locality)
     return ExperimentResult(
         graph=graph.name,
         algorithm=execution.trace.algorithm,
         framework=fw.name,
         ordering=prepared.ordering,
+        machine=machine_model.name,
         seconds=estimate.seconds,
         iterations=execution.iterations,
         ordering_seconds=prepared.ordering_seconds,
@@ -360,6 +396,7 @@ def run(
     cache: object = False,
     traces: object = False,
     backend: str | None = None,
+    machine: str | MachineModel | None = None,
     **algo_kwargs,
 ) -> ExperimentResult:
     """Run one configuration and price it (= :func:`execute` + :func:`price`).
@@ -373,7 +410,9 @@ def run(
     ``REPRO_BACKEND``) — backends are conformance-tested bit-identical,
     so the resulting :class:`ExperimentResult` carries no backend tag:
     the same cell computed under any backend is the same result, only
-    cheaper.
+    cheaper.  ``machine`` re-prices the cell on another machine
+    personality (:mod:`repro.machine.models`) — unlike the backend it
+    *does* tag the result, because it changes what the numbers mean.
     """
     fw = FRAMEWORKS[framework] if isinstance(framework, str) else framework
     p = fw.default_partitions
@@ -383,7 +422,7 @@ def run(
         graph, algorithm, prepared=prepared, num_partitions=p,
         traces=traces, backend=backend, **algo_kwargs,
     )
-    return price(execution, graph, fw, prepared, locality=locality)
+    return price(execution, graph, fw, prepared, locality=locality, machine=machine)
 
 
 def run_sweep(

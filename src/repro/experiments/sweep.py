@@ -27,10 +27,11 @@ Scheduling is **trace-aware** (``dedup=True``, the default): cells are
 grouped by *execution identity* — (dataset, params, ordering, algorithm,
 algo kwargs, partition count), everything that determines what the
 algorithm does, which excludes the framework since all personalities
-price at the same accounting granularity — and each group executes its
-algorithm once (consulting the persistent trace store first, via
+price at the same accounting granularity, and the machine model since a
+machine only prices — and each group executes its algorithm once
+(consulting the persistent trace store first, via
 :func:`repro.experiments.runner.execute`), then fans the trace out to
-per-framework pricing.  A full Ligra+Polymer+GraphGrind matrix therefore
+per-(framework, machine) pricing.  A full Ligra+Polymer+GraphGrind matrix therefore
 does one third of the semantic work, and a re-sweep over a warm trace
 store executes nothing at all.  ``dedup=False`` keeps the historical one
 -execution-per-cell path (no grouping, no trace store) — the two paths
@@ -54,6 +55,7 @@ from repro.experiments.runner import (
     price,
     run,
 )
+from repro.machine.models import DEFAULT_MACHINE
 
 __all__ = [
     "SweepCell",
@@ -86,6 +88,11 @@ class SweepCell:
     #: engine computed it — a sweep resumed under ``vectorized`` happily
     #: reuses cells persisted under ``reference`` and vice versa.
     backend: str | None = None
+    #: Machine personality the cell is priced on (:mod:`repro.machine
+    #: .models`).  Part of the cell *key* — two machines are two results —
+    #: but never of the execution identity: like the framework, a machine
+    #: only changes how the recorded work is priced.
+    machine: str = DEFAULT_MACHINE
 
     def key(self) -> str:
         return result_cell_key(
@@ -95,10 +102,12 @@ class SweepCell:
             self.ordering,
             params=self.params,
             algo_kwargs=self.algo_kwargs,
+            machine=self.machine,
         )
 
     def label(self) -> str:
-        return f"{self.dataset}/{self.framework}/{self.ordering}/{self.algorithm}"
+        base = f"{self.dataset}/{self.framework}/{self.ordering}/{self.algorithm}"
+        return base if self.machine == DEFAULT_MACHINE else f"{base}@{self.machine}"
 
     def execution_identity(self) -> str:
         """Everything that determines what the algorithm *does* — the
@@ -106,9 +115,11 @@ class SweepCell:
         identity share one execution (and one stored trace); they may
         differ only in how the work is priced.  The framework enters only
         through its accounting partition count (shared by every built-in
-        personality); the backend is excluded outright (bit-identical by
-        conformance).  Uses the artifact cache's canonical hash scheme,
-        like :meth:`key` minus the framework."""
+        personality); the machine is a pure pricing dimension and is
+        excluded, so one execution fans out across the whole (framework x
+        machine) matrix; the backend is excluded outright (bit-identical
+        by conformance).  Uses the artifact cache's canonical hash scheme,
+        like :meth:`key` minus the framework and machine."""
         from repro.frameworks.personality import FRAMEWORKS
         from repro.store.cache import artifact_key
 
@@ -142,21 +153,26 @@ def expand_matrix(
     params: dict | None = None,
     algo_kwargs: dict | None = None,
     backend: str | None = None,
+    machines: Sequence[str] = (DEFAULT_MACHINE,),
 ) -> list[SweepCell]:
     """Expand a matrix into cells in the serial ``run_sweep`` order
-    (per dataset: framework -> ordering -> algorithm), so a returned
-    result list lines up element-for-element with the serial path.
+    (per dataset: machine -> framework -> ordering -> algorithm), so with
+    the default single machine a returned result list lines up
+    element-for-element with the serial path.
 
     ``params`` applies to every dataset; ``algo_kwargs`` maps algorithm
     name -> kwargs (the ``run_sweep`` convention, e.g.
-    ``{"PR": {"num_iterations": 5}}``).
+    ``{"PR": {"num_iterations": 5}}``).  ``machines`` multiplies the
+    matrix by machine personality — a pricing dimension, so the extra
+    cells share the same execution groups.
 
-    Algorithm, framework and ordering names are validated here, before
-    any cell is keyed or dispatched — a typo must fail the whole sweep
-    up front, not a worker mid-run.
+    Algorithm, framework, ordering and machine names are validated here,
+    before any cell is keyed or dispatched — a typo must fail the whole
+    sweep up front, not a worker mid-run.
     """
     from repro.algorithms import ALGORITHMS
     from repro.frameworks.personality import FRAMEWORKS
+    from repro.machine.models import MACHINES
     from repro.ordering import ORDERING_REGISTRY
     from repro.store import DATASET_REGISTRY
 
@@ -167,6 +183,7 @@ def expand_matrix(
         (algorithms, ALGORITHMS, "algorithm"),
         (frameworks, FRAMEWORKS, "framework"),
         (orderings, ORDERING_REGISTRY, "ordering"),
+        (machines, MACHINES, "machine"),
     ):
         unknown = [n for n in names if n not in registry]
         if unknown:
@@ -186,8 +203,10 @@ def expand_matrix(
             params=params,
             algo_kwargs=dict(algo_kwargs.get(a, {})),
             backend=backend,
+            machine=m,
         )
         for d in datasets
+        for m in machines
         for f in frameworks
         for o in orderings
         for a in algorithms
@@ -245,6 +264,7 @@ def _compute_cell(
         ordering=cell.ordering,
         prepared=prep,
         backend=cell.backend,
+        machine=cell.machine,
         **cell.algo_kwargs,
     )
 
@@ -254,14 +274,17 @@ def _compute_group(
     cache,
     graphs: dict,
     prepared: dict,
+    replay_only: bool = False,
 ) -> tuple[list[ExperimentResult], bool]:
     """Execute one group's algorithm once, price it under every cell's
-    framework.  Returns the per-cell results (in group order) plus
-    whether the execution was replayed from the trace store.
+    (framework, machine) pair.  Returns the per-cell results (in group
+    order) plus whether the execution was replayed from the trace store.
 
     The trace store rides in the same artifact cache as everything else;
     cache-less runs still dedup (one fresh execution fans out to every
-    framework) but persist nothing."""
+    framework) but persist nothing.  ``replay_only`` forwards the
+    ``sweep reprice`` contract: a trace-store miss raises instead of
+    executing."""
     from repro.frameworks.personality import FRAMEWORKS
 
     first = group[0]
@@ -273,10 +296,12 @@ def _compute_group(
         num_partitions=FRAMEWORKS[first.framework].default_partitions,
         traces=cache,
         backend=first.backend,
+        replay_only=replay_only,
         **first.algo_kwargs,
     )
     results = [
-        price(execution, graph, FRAMEWORKS[cell.framework], prep)
+        price(execution, graph, FRAMEWORKS[cell.framework], prep,
+              machine=cell.machine)
         for cell in group
     ]
     return results, execution.replayed
@@ -303,7 +328,9 @@ def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
     return result.to_dict()
 
 
-def _worker_run_group(group: list[SweepCell], cache_root: str | None) -> dict:
+def _worker_run_group(
+    group: list[SweepCell], cache_root: str | None, replay_only: bool = False
+) -> dict:
     """Pool entry point (``dedup=True``): one execution, per-cell pricing.
 
     Returns the serialized results in group order plus the replay flag
@@ -312,7 +339,7 @@ def _worker_run_group(group: list[SweepCell], cache_root: str | None) -> dict:
 
     cache = ArtifactCache(cache_root) if cache_root is not None else False
     results, replayed = _compute_group(
-        group, cache, _WORKER_GRAPHS, _WORKER_PREPARED
+        group, cache, _WORKER_GRAPHS, _WORKER_PREPARED, replay_only=replay_only
     )
     return {"results": [r.to_dict() for r in results], "replayed": replayed}
 
@@ -332,6 +359,7 @@ def run_cells(
     resume: bool = True,
     cache=None,
     dedup: bool = True,
+    replay_only: bool = False,
     progress: ProgressFn | None = None,
     stats: dict | None = None,
 ) -> list[ExperimentResult]:
@@ -353,6 +381,11 @@ def run_cells(
     one-execution-per-cell path, kept as the differential baseline.  The
     two are byte-identical in everything they persist.
 
+    ``replay_only=True`` (the ``sweep reprice`` contract) promises this
+    call executes **zero** algorithms: every pending group must replay
+    from the persistent trace store, and a miss raises instead of
+    executing.  Requires ``dedup`` and an enabled ``cache``.
+
     ``progress(cell, result, skipped)`` is invoked once per cell.
     ``stats``, when given, is filled with dedup accounting: targeted
     ``cells``, ``resumed``/``computed`` counts, pending execution
@@ -362,6 +395,11 @@ def run_cells(
     from repro.store import resolve_cache
 
     cells = list(cells)
+    if replay_only and not dedup:
+        raise ResultsError(
+            "replay_only requires dedup scheduling (the per-cell path "
+            "never consults the trace store)"
+        )
     if isinstance(store, (str, os.PathLike)):
         store = ResultsStore(store)
 
@@ -385,6 +423,11 @@ def run_cells(
             pending.append((cell, key))
 
     resolved = resolve_cache(cache)
+    if replay_only and resolved is None:
+        raise ResultsError(
+            "replay_only needs the artifact cache (it holds the trace "
+            "store); enable caching or drop replay_only"
+        )
     cache_root = str(resolved.root) if resolved is not None else None
     counters = {"executed": 0, "replayed": 0}
 
@@ -420,7 +463,7 @@ def run_cells(
         for group in groups:
             if dedup:
                 group_results, replayed = _compute_group(
-                    group, cache_arg, graphs, prepared
+                    group, cache_arg, graphs, prepared, replay_only=replay_only
                 )
             else:
                 group_results, replayed = (
@@ -441,7 +484,9 @@ def run_cells(
         with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
             if dedup:
                 futures = {
-                    pool.submit(_worker_run_group, group, cache_root): group
+                    pool.submit(
+                        _worker_run_group, group, cache_root, replay_only
+                    ): group
                     for group in queue
                 }
             else:
@@ -509,11 +554,13 @@ def run_matrix(
     params: dict | None = None,
     algo_kwargs: dict | None = None,
     backend: str | None = None,
+    machines: Sequence[str] = (DEFAULT_MACHINE,),
     jobs: int = 1,
     store: "ResultsStore | str | os.PathLike | None" = None,
     resume: bool = True,
     cache=None,
     dedup: bool = True,
+    replay_only: bool = False,
     progress: ProgressFn | None = None,
     stats: dict | None = None,
 ) -> list[ExperimentResult]:
@@ -521,13 +568,18 @@ def run_matrix(
 
     This is the parallel, persistent, resumable counterpart of calling
     :func:`repro.experiments.run_sweep` once per graph: the result list is
-    ordered exactly as the serial loops would produce it.
+    ordered exactly as the serial loops would produce it.  ``machines``
+    multiplies the matrix by machine personality; combined with
+    ``replay_only=True`` over a warm trace store this is the ``sweep
+    reprice`` engine — the whole (framework x machine) matrix priced with
+    zero executions.
     """
     cells = expand_matrix(
         datasets, algorithms, frameworks, orderings,
         params=params, algo_kwargs=algo_kwargs, backend=backend,
+        machines=machines,
     )
     return run_cells(
         cells, jobs=jobs, store=store, resume=resume, cache=cache,
-        dedup=dedup, progress=progress, stats=stats,
+        dedup=dedup, replay_only=replay_only, progress=progress, stats=stats,
     )

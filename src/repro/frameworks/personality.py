@@ -24,7 +24,7 @@ and nowhere else.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -156,6 +156,31 @@ class FrameworkModel:
     def __post_init__(self) -> None:
         if self.scheduler not in ("cilk", "static", "static-hier", "numa-hier", "dynamic"):
             raise SimulationError(f"unknown scheduler {self.scheduler!r}")
+
+    # ------------------------------------------------------------------
+    def on_machine(self, machine) -> "FrameworkModel":
+        """This personality configured for a :class:`~repro.machine.models.
+        MachineModel`: the machine supplies the topology and the
+        machine-owned cost knobs (miss penalty, remote factor, core-speed
+        scale on this personality's own per-op coefficients); every
+        framework design axis (scheduler, NUMA awareness, locality
+        optimization) is untouched.
+
+        The **default** machine is a strict no-op — ``self`` comes back
+        untouched, whatever this personality's cost model is — so pricing
+        with ``machine=None`` / ``paper-xeon`` is byte-identical to the
+        pre-machine-layer path even for custom personalities that carry
+        tuned coefficients.
+        """
+        from repro.machine.models import DEFAULT_MACHINE, MACHINES
+
+        if machine == MACHINES[DEFAULT_MACHINE]:
+            return self
+        topology = machine.topology
+        cost_model = machine.derive_cost_model(self.cost_model)
+        if topology == self.topology and cost_model == self.cost_model:
+            return self
+        return replace(self, topology=topology, cost_model=cost_model)
 
     # ------------------------------------------------------------------
     def price(

@@ -1,7 +1,17 @@
-"""Machine model: cost model, schedulers, NUMA, cache/TLB/branch simulators."""
+"""Machine model: cost model, schedulers, NUMA, cache/TLB/branch simulators,
+and the registry of named machine personalities sweeps re-price under."""
 
 from repro.machine.numa import NUMATopology, PAPER_MACHINE
 from repro.machine.cost import CostModel, DEFAULT_COST_MODEL, PartitionWork
+from repro.machine.models import (
+    DEFAULT_MACHINE,
+    MACHINES,
+    MachineModel,
+    available_machines,
+    get_machine,
+    register_machine,
+    resolve_machine,
+)
 from repro.machine.schedule import (
     ScheduleResult,
     cilk_recursive_schedule,
@@ -28,6 +38,13 @@ from repro.machine.counters import InstructionModel, ThreadCounters, mpki_table
 __all__ = [
     "NUMATopology",
     "PAPER_MACHINE",
+    "DEFAULT_MACHINE",
+    "MACHINES",
+    "MachineModel",
+    "available_machines",
+    "get_machine",
+    "register_machine",
+    "resolve_machine",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "PartitionWork",

@@ -1,0 +1,200 @@
+"""Machine-model registry: named machine personalities for pricing.
+
+The machine model of :mod:`repro.machine.cost` / :mod:`repro.machine.numa`
+is calibrated against the paper's testbed (a 4-socket Xeon E7-4860 v2).
+Section V's results — thread scaling, NUMA sensitivity, the per-machine
+deltas behind Table III — are the *same work* priced under *different
+machine assumptions*.  A :class:`MachineModel` makes those assumptions a
+first-class, nameable configuration:
+
+* the topology (sockets x threads per socket) the schedulers fill;
+* the cache-miss penalty multiplier of the cost model;
+* the NUMA remote-access multiplier;
+* a uniform per-operation time scale (core speed relative to the paper's
+  Xeon).
+
+A machine is a **pricing dimension**, exactly like the framework
+personality: it derives the :class:`~repro.machine.cost.CostModel` and
+:class:`~repro.machine.numa.NUMATopology` a
+:class:`~repro.frameworks.personality.FrameworkModel` prices with, and it
+never enters an execution's identity — the work trace records what the
+algorithm *did*, which no machine assumption can change.  That split is
+what lets ``sweep reprice`` turn one night of executions into arbitrarily
+many machine-scenario studies: a warm trace store prices the full
+(framework x machine) matrix with zero fresh executions.
+
+:data:`DEFAULT_MACHINE` (``paper-xeon``) reproduces the pre-machine-layer
+coefficients bit for bit, so pricing under the default machine is
+byte-identical to pricing with no machine at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.machine.cost import CostModel, DEFAULT_COST_MODEL
+from repro.machine.numa import NUMATopology, PAPER_MACHINE
+
+__all__ = [
+    "DEFAULT_MACHINE",
+    "MACHINES",
+    "MachineModel",
+    "available_machines",
+    "get_machine",
+    "register_machine",
+    "resolve_machine",
+]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A named machine personality: topology + cost-model derivation knobs.
+
+    The default field values are the paper machine's, so
+    ``MachineModel(name=...)`` with no overrides derives exactly
+    :data:`~repro.machine.cost.DEFAULT_COST_MODEL` and
+    :data:`~repro.machine.numa.PAPER_MACHINE`.
+    """
+
+    name: str
+    description: str = ""
+    num_sockets: int = PAPER_MACHINE.num_sockets
+    threads_per_socket: int = PAPER_MACHINE.threads_per_socket
+    #: Multiplier on the cost model's miss-fraction terms (deeper / slower
+    #: memory hierarchies -> larger penalty).
+    miss_penalty: float = DEFAULT_COST_MODEL.miss_penalty
+    #: NUMA remote-access slowdown; 1.0 on single-socket machines, where
+    #: a remote access is impossible.
+    remote_factor: float = DEFAULT_COST_MODEL.remote_factor
+    #: Uniform scale on the per-operation time coefficients (relative core
+    #: speed: < 1 is faster than the paper's 2.6 GHz Ivy Bridge EX).
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("machine model needs a non-empty name")
+        if self.num_sockets <= 0 or self.threads_per_socket <= 0:
+            raise SimulationError("machine topology dimensions must be positive")
+        if self.miss_penalty < 0:
+            raise SimulationError("miss_penalty must be non-negative")
+        if self.remote_factor < 1.0:
+            raise SimulationError("remote_factor must be >= 1")
+        if self.time_scale <= 0:
+            raise SimulationError("time_scale must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> NUMATopology:
+        return NUMATopology(
+            num_sockets=self.num_sockets,
+            threads_per_socket=self.threads_per_socket,
+        )
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_sockets * self.threads_per_socket
+
+    def derive_cost_model(self, base: CostModel = DEFAULT_COST_MODEL) -> CostModel:
+        """Configure ``base`` (a framework's coefficient set) for this
+        machine.  ``miss_penalty`` and ``remote_factor`` are machine
+        properties and *replace* the base's; the per-op coefficients are
+        the framework's own, scaled by ``time_scale`` (1.0 skips the
+        multiply entirely, keeping the floats bitwise).  Note
+        :meth:`~repro.frameworks.personality.FrameworkModel.on_machine`
+        treats the registered default machine as a strict no-op and never
+        calls this, so custom personalities keep tuned knobs under
+        default-machine pricing.
+        """
+        model = replace(
+            base, miss_penalty=self.miss_penalty, remote_factor=self.remote_factor
+        )
+        if self.time_scale != 1.0:
+            model = model.scaled(self.time_scale)
+        return model
+
+    def with_threads_per_socket(self, threads_per_socket: int) -> "MachineModel":
+        """A variant with a different thread count per socket — the knob
+        the speedup-vs-threads curves turn (Section V's scaling plots)."""
+        if threads_per_socket == self.threads_per_socket:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}@{self.num_sockets * threads_per_socket}t",
+            threads_per_socket=int(threads_per_socket),
+        )
+
+
+#: name -> machine personality; extended via :func:`register_machine`.
+MACHINES: dict[str, MachineModel] = {}
+
+#: The machine every result is priced on unless told otherwise — the
+#: paper's testbed, whose derived coefficients are bitwise the historical
+#: defaults.
+DEFAULT_MACHINE = "paper-xeon"
+
+
+def register_machine(model: MachineModel) -> MachineModel:
+    """Register ``model`` under its name (used by sweeps and the CLI)."""
+    if model.name in MACHINES:
+        raise SimulationError(f"machine model {model.name!r} already registered")
+    MACHINES[model.name] = model
+    return model
+
+
+def available_machines() -> list[str]:
+    return sorted(MACHINES)
+
+
+def get_machine(name: str) -> MachineModel:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown machine model {name!r}; registered: {available_machines()}"
+        ) from None
+
+
+def resolve_machine(machine: "str | MachineModel | None") -> MachineModel:
+    """Accept a registry name, a model instance, or ``None`` (default)."""
+    if machine is None:
+        return MACHINES[DEFAULT_MACHINE]
+    if isinstance(machine, MachineModel):
+        return machine
+    return get_machine(machine)
+
+
+#: The paper's 4-socket Xeon E7-4860 v2 (Section IV): every knob at the
+#: historical default, so this machine prices bit-identically to code
+#: that predates the machine layer.
+register_machine(MachineModel(
+    name=DEFAULT_MACHINE,
+    description="4-socket Xeon E7-4860 v2, 12 cores/socket (the paper's testbed)",
+))
+
+#: A single-socket laptop: fewer, faster cores; no remote NUMA accesses
+#: at all (remote_factor 1.0 neutralizes every NUMA term), shallower
+#: memory hierarchy.
+register_machine(MachineModel(
+    name="laptop",
+    description="single-socket 8-core laptop, no NUMA, faster cores",
+    num_sockets=1,
+    threads_per_socket=8,
+    miss_penalty=3.0,
+    remote_factor=1.0,
+    time_scale=0.7,
+))
+
+#: A big NUMA box: twice the paper's sockets, more threads per socket,
+#: but a steeper remote-access cliff and a pricier miss path — the
+#: scenario where NUMA-aware placement (Polymer, GraphGrind) should pull
+#: furthest ahead of interleaved layouts (Ligra).
+register_machine(MachineModel(
+    name="big-numa",
+    description="8-socket NUMA box, 16 threads/socket, steep remote penalty",
+    num_sockets=8,
+    threads_per_socket=16,
+    miss_penalty=5.0,
+    remote_factor=2.5,
+    time_scale=0.9,
+))

@@ -4,18 +4,24 @@ from repro.metrics.tables import (
     format_matrix,
     format_table,
     geometric_mean,
+    machine_speedups,
     ordering_speedups,
+    per_machine_matrices,
     render_report,
     runtime_matrix,
     speedups,
+    thread_scaling_curve,
 )
 
 __all__ = [
     "format_matrix",
     "format_table",
     "geometric_mean",
+    "machine_speedups",
     "ordering_speedups",
+    "per_machine_matrices",
     "render_report",
     "runtime_matrix",
     "speedups",
+    "thread_scaling_curve",
 ]

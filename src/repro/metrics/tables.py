@@ -19,7 +19,10 @@ __all__ = [
     "format_matrix",
     "runtime_matrix",
     "ordering_speedups",
+    "machine_speedups",
+    "per_machine_matrices",
     "render_report",
+    "thread_scaling_curve",
 ]
 
 
@@ -122,6 +125,108 @@ def ordering_speedups(
     return out
 
 
+def _machine_of(result) -> str:
+    """Machine tag of a result; results persisted before the machine layer
+    (or minimal stand-ins in tests) price on the default paper machine."""
+    from repro.machine.models import DEFAULT_MACHINE
+
+    return str(getattr(result, "machine", DEFAULT_MACHINE))
+
+
+def per_machine_matrices(
+    results: Iterable,
+    row_keys: Sequence[str] = ("graph", "algorithm", "framework"),
+    col_key: str = "ordering",
+) -> dict[str, dict[str, dict[str, float]]]:
+    """One Table III-shaped :func:`runtime_matrix` per machine model.
+
+    A multi-machine reprice drops every (framework, machine) pricing of
+    the same executions into one results store; this splits them back
+    into per-machine tables (keyed by machine name, insertion-ordered by
+    first appearance) so each renders exactly like a single-machine
+    sweep.
+    """
+    grouped: dict[str, list] = {}
+    for r in results:
+        grouped.setdefault(_machine_of(r), []).append(r)
+    return {
+        m: runtime_matrix(rs, row_keys=row_keys, col_key=col_key)
+        for m, rs in grouped.items()
+    }
+
+
+def machine_speedups(results: Iterable, baseline: str | None = None) -> dict[str, dict[str, float]]:
+    """Per-framework geomean speedup of each machine over ``baseline``.
+
+    The cross-machine companion of :func:`ordering_speedups`: cells are
+    matched by (framework, graph, algorithm, ordering) and the ratio is
+    ``baseline machine seconds / machine seconds``, so values > 1 mean the
+    machine runs the same work faster than the baseline (the paper
+    machine by default).  Returns ``{machine: {framework: geomean}}`` for
+    every non-baseline machine present; cells missing on either side are
+    skipped.
+    """
+    from repro.machine.models import DEFAULT_MACHINE
+
+    baseline = baseline or DEFAULT_MACHINE
+    by: dict[tuple, float] = {}
+    machines: list[str] = []
+    frameworks: list[str] = []
+    for r in results:
+        m = _machine_of(r)
+        by[(m, r.framework, r.graph, r.algorithm, r.ordering)] = float(r.seconds)
+        if m not in machines:
+            machines.append(m)
+        if r.framework not in frameworks:
+            frameworks.append(r.framework)
+    out: dict[str, dict[str, float]] = {}
+    for m in machines:
+        if m == baseline:
+            continue
+        per_fw: dict[str, float] = {}
+        for fw in frameworks:
+            ratios = [
+                by[(baseline, f, g, a, o)] / seconds
+                for (mm, f, g, a, o), seconds in by.items()
+                if mm == m and f == fw and seconds > 0
+                and (baseline, f, g, a, o) in by
+            ]
+            if ratios:
+                per_fw[fw] = geometric_mean(ratios)
+        if per_fw:
+            out[m] = per_fw
+    return out
+
+
+def thread_scaling_curve(
+    execution,
+    graph,
+    framework: str,
+    prepared,
+    machine: str | None = None,
+    thread_counts: Sequence[int] = (1, 2, 4, 8, 12),
+) -> dict[int, float]:
+    """Speedup-vs-threads curve re-priced from one stored execution.
+
+    Prices ``execution`` under variants of ``machine`` that differ only in
+    threads per socket (:meth:`~repro.machine.models.MachineModel
+    .with_threads_per_socket`), returning ``{total threads: seconds}`` —
+    the Section V scaling plots, for free once the trace exists.
+    ``thread_counts`` are per-socket counts; keys are machine-wide thread
+    totals.
+    """
+    from repro.experiments.runner import price
+    from repro.machine.models import resolve_machine
+
+    base = resolve_machine(machine)
+    curve: dict[int, float] = {}
+    for per_socket in thread_counts:
+        variant = base.with_threads_per_socket(int(per_socket))
+        result = price(execution, graph, framework, prepared, machine=variant)
+        curve[variant.num_threads] = float(result.seconds)
+    return curve
+
+
 def render_report(
     results: Iterable,
     baseline: str = "original",
@@ -131,21 +236,37 @@ def render_report(
     """Render one result group the way ``sweep report`` prints it: the
     runtime matrix followed by the per-framework geomean speedup block.
 
+    Results priced on several machine models render as one section per
+    machine (a machine is a pricing dimension: mixing two machines into
+    one matrix would silently overwrite cells); a single-machine group —
+    every store written before the machine layer, and every default sweep
+    — renders with no machine header at all, byte-identical to the
+    historical output.
+
     This is the single formatting path for report output — the CLI calls
     it per sweep group, and the golden-file regression tests pin its exact
     text, so any formatting change shows up as a diff instead of being
     eyeballed across terminals.
     """
-    lines = [format_matrix(runtime_matrix(results), row_label=row_label)]
-    gains = ordering_speedups(results, baseline=baseline, target=target)
-    if gains:
-        lines.append("")
-        lines.append(f"geomean {target} speedup over {baseline}:")
-        for fw, gain in gains.items():
-            lines.append(f"  {fw:<12} {gain:.2f}x")
-    else:
-        lines.append(f"(no {baseline} vs {target} pairs in these results)")
-    return "\n".join(lines)
+    grouped: dict[str, list] = {}
+    for r in results:
+        grouped.setdefault(_machine_of(r), []).append(r)
+    lines: list[str] = []
+    for machine, machine_results in grouped.items():
+        if lines:
+            lines.append("")
+        if len(grouped) > 1:
+            lines.append(f"-- machine: {machine} --")
+        lines.append(format_matrix(runtime_matrix(machine_results), row_label=row_label))
+        gains = ordering_speedups(machine_results, baseline=baseline, target=target)
+        if gains:
+            lines.append("")
+            lines.append(f"geomean {target} speedup over {baseline}:")
+            for fw, gain in gains.items():
+                lines.append(f"  {fw:<12} {gain:.2f}x")
+        else:
+            lines.append(f"(no {baseline} vs {target} pairs in these results)")
+    return "\n".join(lines) if lines else "(empty table)"
 
 
 def geometric_mean(values: Iterable[float]) -> float:

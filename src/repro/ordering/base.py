@@ -25,6 +25,7 @@ from repro.graph.generators import permute_vertices
 __all__ = [
     "OrderingResult",
     "VertexOrdering",
+    "stable_bucket_argsort",
     "validate_permutation",
     "apply_ordering",
     "identity_order",
@@ -33,6 +34,51 @@ __all__ = [
     "register_ordering",
     "get_ordering",
 ]
+
+
+def stable_bucket_argsort(keys: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Stable argsort of non-negative integer ``keys`` in O(n + N) time.
+
+    The LSD bucket sort both Algorithm 2 and the streaming-partitioner
+    layout rely on for their linear-time bounds: keys are sorted by
+    successive 16-bit digits, and each digit pass is a 65536-bucket
+    counting sort (NumPy's radix kernel — ``kind="stable"`` on small
+    integer dtypes — so no comparison sort runs anywhere).  One pass
+    covers every key below 2**16 — all realistic degree and partition
+    counts — and each further pass only when the key range demands it,
+    giving O(n + N) with N = max(keys).
+
+    Only uint16 digit copies are allocated: no float conversion and no
+    full-width negated key copy.  ``descending`` complements each digit
+    in place of negating the keys, preserving stability (equal keys keep
+    input order in both directions).
+    """
+    keys = np.ascontiguousarray(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise OrderingError(
+            f"bucket argsort needs integer keys, got dtype {keys.dtype}"
+        )
+    kmin = int(keys.min())
+    if kmin < 0:
+        raise OrderingError("bucket argsort needs non-negative keys")
+    kmax = int(keys.max())
+    # Widen narrow dtypes: the 16-bit digit mask is out of range for
+    # int8/int16 under NEP-50 promotion (OverflowError, not a sort).
+    # int64 for every signed/sub-64-bit kind, uint64 kept as-is so keys
+    # above 2**63 - 1 survive.
+    if keys.dtype != np.uint64:
+        keys = keys.astype(np.int64, copy=False)
+    flip = np.uint16(0xFFFF) if descending else np.uint16(0)
+    digit = (keys & 0xFFFF).astype(np.uint16) ^ flip
+    order = np.argsort(digit, kind="stable")
+    shift = 16
+    while kmax >> shift:
+        digit = ((keys >> shift) & 0xFFFF).astype(np.uint16) ^ flip
+        order = order[np.argsort(digit[order], kind="stable")]
+        shift += 16
+    return order.astype(INDEX_DTYPE, copy=False)
 
 
 @dataclass(frozen=True)

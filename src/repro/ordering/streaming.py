@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.errors import OrderingError
 from repro.graph.csr import INDEX_DTYPE, Graph
-from repro.ordering.base import register_ordering, timed_ordering
+from repro.ordering.base import (
+    register_ordering,
+    stable_bucket_argsort,
+    timed_ordering,
+)
 
 __all__ = ["ldg_perm", "fennel_perm", "ldg", "fennel", "assignment_to_order"]
 
@@ -30,15 +34,15 @@ __all__ = ["ldg_perm", "fennel_perm", "ldg", "fennel", "assignment_to_order"]
 def assignment_to_order(assign: np.ndarray, num_partitions: int) -> np.ndarray:
     """Convert a partition assignment into a contiguous-layout permutation.
 
-    Vertices keep their relative (arrival) order inside each partition.
+    Vertices keep their relative (arrival) order inside each partition:
+    partition ids are bucket-sorted stably in O(n + P)
+    (:func:`~repro.ordering.base.stable_bucket_argsort`), then inverted
+    into old-id -> new-sequence form.
     """
     assign = np.asarray(assign, dtype=INDEX_DTYPE)
     if assign.size and (assign.min() < 0 or assign.max() >= num_partitions):
         raise OrderingError("partition assignment out of range")
-    counts = np.bincount(assign, minlength=num_partitions)
-    starts = np.zeros(num_partitions + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=starts[1:])
-    order = np.argsort(assign, kind="stable")  # new-seq -> old-id
+    order = stable_bucket_argsort(assign)  # new-seq -> old-id
     perm = np.empty(assign.size, dtype=INDEX_DTYPE)
     perm[order] = np.arange(assign.size, dtype=INDEX_DTYPE)
     return perm

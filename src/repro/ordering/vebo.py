@@ -39,7 +39,12 @@ import numpy as np
 
 from repro.errors import OrderingError
 from repro.graph.csr import INDEX_DTYPE, Graph
-from repro.ordering.base import OrderingResult, register_ordering, timed_ordering
+from repro.ordering.base import (
+    OrderingResult,
+    register_ordering,
+    stable_bucket_argsort,
+    timed_ordering,
+)
 
 __all__ = [
     "vebo_order",
@@ -52,16 +57,22 @@ __all__ = [
 def counting_sort_by_degree(degrees: np.ndarray) -> np.ndarray:
     """Indices of ``degrees`` sorted by *decreasing* value, stable.
 
-    Equivalent to ``np.argsort(-degrees, kind="stable")`` but O(n + N) like
-    the radix-style sort the paper assumes for the complexity bound.
+    Equivalent to ``np.argsort(-degrees, kind="stable")`` but a genuine
+    O(n + N) bucket sort (:func:`~repro.ordering.base
+    .stable_bucket_argsort` on complemented 16-bit digits) — the bound
+    Algorithm 2's O(n log P) total complexity rests on.  No comparison
+    sort runs and no negated key copy (float or integer) is allocated;
+    stability means ties keep their input order, exactly like the argsort
+    oracle the property tests compare against.
     """
     degrees = np.asarray(degrees)
     if degrees.size == 0:
         return np.empty(0, dtype=INDEX_DTYPE)
-    # np.argsort(kind="stable") on the negated key would allocate a float
-    # copy for large N; bucket by degree instead.
-    order = np.argsort(-degrees, kind="stable").astype(INDEX_DTYPE)
-    return order
+    if not np.issubdtype(degrees.dtype, np.integer):
+        raise OrderingError(
+            f"degrees must be an integer array, got dtype {degrees.dtype}"
+        )
+    return stable_bucket_argsort(degrees, descending=True)
 
 
 def _lpt_assign_heap(sorted_degrees: np.ndarray, num_partitions: int) -> np.ndarray:
@@ -235,7 +246,7 @@ def _renumber_locality_blocks(
     new_assign = np.empty(n, dtype=INDEX_DTYPE)
 
     # Vertices of each degree in input order; iterate degrees high -> low.
-    deg_order = np.argsort(-degs, kind="stable")
+    deg_order = counting_sort_by_degree(degs)
     sorted_degs = degs[deg_order]
     boundaries = np.flatnonzero(np.diff(sorted_degs)) + 1
     class_starts = np.concatenate([[0], boundaries, [n]])

@@ -29,7 +29,13 @@ exact boundaries via ``boundaries=``.
 Complexity: the scan is ``O(n)`` after the ``O(n)`` in-degree prefix sum;
 the vectorized implementation below replaces the sequential walk with a
 ``searchsorted`` over the cumulative degree array, which is equivalent
-because each cut target is a fixed multiple of ``avg``.
+because each cut target is a fixed multiple of ``avg``.  The cut targets
+are **exact integers** (ceil-division multiples of ``|E| / P``), so the
+vectorized cuts are bit-identical to the sequential reference scan
+(:func:`chunk_boundaries_reference`) even on exact-boundary ties — a
+float target ``i * (|E| / P)`` can round to either side of the integer
+cumulative count it is compared against, flipping the paper's
+``|E[i]| >= avg`` test precisely when the tie is exact.
 """
 
 from __future__ import annotations
@@ -39,7 +45,12 @@ import numpy as np
 from repro.errors import PartitionError
 from repro.graph.csr import INDEX_DTYPE, Graph
 
-__all__ = ["partition_by_destination", "chunk_boundaries", "boundaries_from_counts"]
+__all__ = [
+    "partition_by_destination",
+    "chunk_boundaries",
+    "chunk_boundaries_reference",
+    "boundaries_from_counts",
+]
 
 
 def chunk_boundaries(in_degrees: np.ndarray, num_partitions: int) -> np.ndarray:
@@ -49,7 +60,9 @@ def chunk_boundaries(in_degrees: np.ndarray, num_partitions: int) -> np.ndarray:
     ``i`` owns vertices ``[b[i], b[i+1])``.  Mirrors the pseudo-code: a new
     partition starts once the current one's edge count has *reached* the
     target average ``|E| / P`` (the paper's ``|E[i]| >= avg`` test), and the
-    last partition absorbs any remainder.
+    last partition absorbs any remainder.  All arithmetic is exact: the
+    property suite pins this bit-identical to
+    :func:`chunk_boundaries_reference` for every (degrees, P).
     """
     in_degrees = np.ascontiguousarray(in_degrees, dtype=INDEX_DTYPE)
     n = in_degrees.size
@@ -57,13 +70,21 @@ def chunk_boundaries(in_degrees: np.ndarray, num_partitions: int) -> np.ndarray:
     if p <= 0:
         raise PartitionError("num_partitions must be positive")
     total = int(in_degrees.sum())
-    avg = total / p if p else 0.0
     # Vectorized equivalent of the scan: partition i ends at the first
-    # vertex whose cumulative in-degree reaches (i + 1) * avg.  This matches
-    # the sequential greedy because the running count only resets the target
-    # in increments of avg.
+    # vertex whose cumulative in-degree c reaches (i + 1) * |E| / P — as an
+    # integer test, c >= ceil((i + 1) * |E| / P).  The ceil targets are
+    # computed in Python's arbitrary-precision integers (the intermediate
+    # product i * |E| overflows int64 already at 2**53-scale degree sums
+    # with P = 384); each *target* is <= |E| and lands back in int64
+    # exactly.  O(P) Python-level work, trivial next to the O(n) cumsum.
+    # This matches the sequential greedy because the running count only
+    # resets the target in increments of avg.
     cums = np.cumsum(in_degrees)
-    targets = avg * np.arange(1, p, dtype=np.float64)
+    targets = np.fromiter(
+        ((i * total + p - 1) // p for i in range(1, p)),
+        dtype=np.int64,
+        count=p - 1,
+    )
     cuts = np.searchsorted(cums, targets, side="left") + 1
     cuts = np.minimum(cuts, n)
     boundaries = np.empty(p + 1, dtype=INDEX_DTYPE)
@@ -72,6 +93,50 @@ def chunk_boundaries(in_degrees: np.ndarray, num_partitions: int) -> np.ndarray:
     boundaries[p] = n
     if np.any(np.diff(boundaries) < 0):
         raise PartitionError("internal error: boundaries not monotone")
+    return boundaries
+
+
+def chunk_boundaries_reference(
+    in_degrees: np.ndarray, num_partitions: int
+) -> np.ndarray:
+    """Sequential reference scan of Algorithm 1, in exact arithmetic.
+
+    The paper-shaped greedy: walk vertices in ID order, add each to the
+    open partition, and after each addition close the partition while the
+    running edge count has reached the next multiple of the exact average
+    ``|E| / P`` (the ``|E[i]| >= avg`` test, applied after the vertex
+    lands — so every cut consumes the vertex that reached it, and an
+    overshooting hub can close several partitions at once, leaving them
+    empty: Figure 1's imbalance).  The target advances by ``avg`` from
+    the previous *target*, not from the achieved count, and the reach
+    test is the cross-multiplied integer comparison ``c * P >= i * |E|``
+    — the same predicate :func:`chunk_boundaries` vectorizes with
+    ceil-division targets, so the two are bit-identical by construction
+    and by the property suite.  O(n + P) and deliberately loop-based:
+    this is the oracle the vectorized scan is differentially tested
+    against.
+    """
+    degrees = np.ascontiguousarray(in_degrees, dtype=INDEX_DTYPE)
+    n = degrees.size
+    p = int(num_partitions)
+    if p <= 0:
+        raise PartitionError("num_partitions must be positive")
+    total = int(degrees.sum())
+    boundaries = np.empty(p + 1, dtype=INDEX_DTYPE)
+    boundaries[0] = 0
+    i = 1
+    count = 0
+    for v in range(n):
+        if i >= p:
+            break
+        count += int(degrees[v])
+        while i < p and count * p >= i * total:
+            boundaries[i] = v + 1
+            i += 1
+    while i < p:  # ran out of vertices before targets: empty tail chunks
+        boundaries[i] = n
+        i += 1
+    boundaries[p] = n
     return boundaries
 
 

@@ -97,6 +97,11 @@ class TestCellKey:
         assert key(ordering="rcm") != reference
         assert key(params={"scale": 0.5}) != reference
         assert key(algo_kwargs={"num_iterations": 6}) != reference
+        assert result_cell_key(
+            base["dataset"], base["algorithm"], base["framework"],
+            base["ordering"], params=base["params"],
+            algo_kwargs=base["algo_kwargs"], machine="laptop",
+        ) != reference
 
 
 class TestResultsStore:

@@ -210,6 +210,26 @@ class TestStreaming:
         with pytest.raises(OrderingError):
             assignment_to_order(np.array([0, 7]), 3)
 
+    def test_assignment_round_trip_reconstructs_partitions(self):
+        """old-id -> new-seq permutation round trip: inverting the layout
+        recovers the original assignment as contiguous, arrival-ordered
+        blocks (the LDG/Fennel validity contract)."""
+        rng = np.random.default_rng(3)
+        assign = rng.integers(0, 5, size=200)
+        perm = assignment_to_order(assign, 5)
+        assert sorted(perm.tolist()) == list(range(200))
+        inv = np.empty(200, dtype=np.int64)
+        inv[perm] = np.arange(200)
+        layout_parts = assign[inv]
+        assert np.all(np.diff(layout_parts) >= 0)  # contiguous blocks
+        for j in range(5):
+            members = inv[layout_parts == j]
+            assert np.all(np.diff(members) > 0)  # arrival order kept
+            assert np.array_equal(np.sort(members), np.flatnonzero(assign == j))
+
+    def test_empty_assignment(self):
+        assert assignment_to_order(np.array([], dtype=np.int64), 4).size == 0
+
     def test_ldg_balanced(self, small_social):
         perm = ldg_perm(small_social, num_partitions=4)
         assert sorted(perm.tolist()) == list(range(small_social.num_vertices))

@@ -30,6 +30,51 @@ class TestCountingSort:
     def test_empty(self):
         assert counting_sort_by_degree(np.array([], dtype=np.int64)).size == 0
 
+    def test_matches_argsort_oracle_with_multi_digit_degrees(self):
+        rng = np.random.default_rng(7)
+        degs = rng.integers(0, 2**20, size=4000)
+        assert np.array_equal(
+            counting_sort_by_degree(degs), np.argsort(-degs, kind="stable")
+        )
+
+    def test_stability_across_digit_passes(self):
+        # equal keys above 2**16 exercise the multi-pass path's stability
+        degs = np.array([70000, 3, 70000, 3, 70000], dtype=np.int64)
+        assert list(counting_sort_by_degree(degs)) == [0, 2, 4, 1, 3]
+
+    def test_narrow_integer_dtypes_sort(self):
+        # int8/int16 keys must sort, not overflow on the 16-bit digit mask
+        for dtype in (np.int8, np.uint8, np.int16, np.uint16, np.int32):
+            degs = np.array([3, 1, 2, 1, 3], dtype=dtype)
+            assert list(counting_sort_by_degree(degs)) == [0, 4, 2, 1, 3]
+
+    def test_rejects_float_degrees(self):
+        from repro.errors import OrderingError
+
+        with pytest.raises(OrderingError, match="integer"):
+            counting_sort_by_degree(np.array([1.5, 2.0]))
+
+    def test_bucket_sort_never_touches_wide_or_float_keys(self, monkeypatch):
+        """The O(n + N) claim, enforced: the only sorts issued are stable
+        argsorts of uint16 digit arrays (NumPy's radix/counting kernel) —
+        no float copy, no negated full-width key, no comparison sort."""
+        seen = []
+        real_argsort = np.argsort
+
+        def spying_argsort(a, *args, **kwargs):
+            seen.append((np.asarray(a).dtype, kwargs.get("kind")))
+            return real_argsort(a, *args, **kwargs)
+
+        monkeypatch.setattr(np, "argsort", spying_argsort)
+        degs = np.arange(100000, dtype=np.int64) % 90000  # two digit passes
+        order = counting_sort_by_degree(degs)
+        monkeypatch.undo()
+        assert np.array_equal(order, np.argsort(-degs, kind="stable"))
+        assert len(seen) == 2  # ceil(bits(89999) / 16) passes, nothing else
+        for dtype, kind in seen:
+            assert dtype == np.uint16
+            assert kind == "stable"
+
 
 class TestVeboAssignment:
     def test_paper_example_counts(self, paper_graph):

@@ -9,6 +9,7 @@ from repro.partition import (
     PartitionedGraph,
     boundaries_from_counts,
     chunk_boundaries,
+    chunk_boundaries_reference,
     compute_stats,
     partition_by_destination,
     summarize,
@@ -72,6 +73,53 @@ class TestChunkBoundaries:
     def test_rejects_bad_p(self):
         with pytest.raises(PartitionError):
             chunk_boundaries(np.array([1]), 0)
+
+
+class TestExactBoundaryArithmetic:
+    """The PR-5 fix: integer ceil-division targets, no float anywhere."""
+
+    def test_exact_tie_cuts_at_the_tie(self):
+        # cumulative [1, 2]: the first vertex reaches the exact average
+        # 2/2 = 1, so the paper's >= test must cut right there.  A float
+        # target that rounded above 1.0 would push the cut a vertex late.
+        assert list(chunk_boundaries(np.array([1, 1]), 2)) == [0, 1, 2]
+
+    def test_large_counts_where_floats_lose_integer_resolution(self):
+        # Degrees around 2**53 exceed float64's integer resolution: the
+        # float target i * (total / p) can land on either side of the
+        # exact integer tie.  The integer scan stays exact.
+        big = 2**53
+        degs = np.array([big + 1, big + 1, 2], dtype=np.int64)
+        b = chunk_boundaries(degs, 2)
+        assert np.array_equal(b, chunk_boundaries_reference(degs, 2))
+        # exact: cums[0] = 2**53 + 1 misses ceil(total/2) = 2**53 + 2 by
+        # one unit — a resolution float64 cannot even represent here
+        assert list(b) == [0, 2, 3]
+
+    def test_no_int64_overflow_at_accounting_partition_count(self):
+        # 383 * (6 * 2**53) overflows int64; the ceil targets must be
+        # computed in exact arithmetic or the vectorized scan silently
+        # diverges from the reference at the library's own P = 384.
+        degs = np.full(6, 2**53, dtype=np.int64)
+        assert np.array_equal(
+            chunk_boundaries(degs, 384), chunk_boundaries_reference(degs, 384)
+        )
+
+    def test_zero_total_matches_reference(self):
+        degs = np.zeros(5, dtype=np.int64)
+        b = chunk_boundaries(degs, 3)
+        assert np.array_equal(b, chunk_boundaries_reference(degs, 3))
+        assert b[0] == 0 and b[-1] == 5
+
+    def test_hub_overshoot_matches_reference(self):
+        degs = np.array([10, 1, 1, 1], dtype=np.int64)
+        assert np.array_equal(
+            chunk_boundaries(degs, 3), chunk_boundaries_reference(degs, 3)
+        )
+
+    def test_reference_rejects_bad_p(self):
+        with pytest.raises(PartitionError):
+            chunk_boundaries_reference(np.array([1]), 0)
 
 
 class TestBoundariesFromCounts:

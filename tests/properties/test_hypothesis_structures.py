@@ -11,8 +11,25 @@ from repro.machine.schedule import (
     greedy_dynamic_schedule,
     static_block_schedule,
 )
-from repro.partition.algorithm1 import chunk_boundaries
+from repro.ordering.base import stable_bucket_argsort
+from repro.ordering.streaming import assignment_to_order
+from repro.ordering.vebo import counting_sort_by_degree
+from repro.partition.algorithm1 import chunk_boundaries, chunk_boundaries_reference
 from repro.partition.stats import compute_stats
+
+#: Degree arrays that stress every boundary the exact-arithmetic scan and
+#: the bucket sort care about: zeros, ties, hubs, and values spanning one,
+#: two and three 16-bit digits.
+degree_arrays = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=7),          # dense tie classes
+        st.integers(min_value=0, max_value=2**16 - 1),  # single digit
+        st.integers(min_value=0, max_value=2**20),      # two digits
+        st.integers(min_value=0, max_value=2**33),      # three digits
+    ),
+    min_size=0,
+    max_size=120,
+)
 
 
 @st.composite
@@ -61,6 +78,63 @@ def test_hilbert_roundtrip(order, ds):
     assert np.array_equal(hilbert_index(x, y, order), d)
     side = 1 << order
     assert np.all((x >= 0) & (x < side) & (y >= 0) & (y < side))
+
+
+@given(degree_arrays, st.integers(min_value=1, max_value=40))
+@settings(max_examples=150, deadline=None)
+def test_chunk_boundaries_bit_identical_to_sequential_reference(degs, p):
+    """The vectorized exact-integer scan IS the paper's sequential scan:
+    bit-identical for every (degrees, P), including exact-boundary ties
+    where the historical float targets could disagree."""
+    degrees = np.array(degs, dtype=np.int64)
+    assert np.array_equal(
+        chunk_boundaries(degrees, p), chunk_boundaries_reference(degrees, p)
+    )
+
+
+@given(degree_arrays)
+@settings(max_examples=150, deadline=None)
+def test_counting_sort_matches_stable_argsort_oracle(degs):
+    """Bucket sort == np.argsort(-degrees, kind='stable'): same order,
+    same tie-breaking (stability), across 1-, 2- and 3-digit keys."""
+    degrees = np.array(degs, dtype=np.int64)
+    assert np.array_equal(
+        counting_sort_by_degree(degrees),
+        np.argsort(-degrees, kind="stable"),
+    )
+
+
+@given(degree_arrays)
+@settings(max_examples=100, deadline=None)
+def test_stable_bucket_argsort_ascending_oracle(keys):
+    arr = np.array(keys, dtype=np.int64)
+    assert np.array_equal(
+        stable_bucket_argsort(arr), np.argsort(arr, kind="stable")
+    )
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=11), min_size=0, max_size=80),
+    st.integers(min_value=12, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_assignment_to_order_round_trip(assign_list, p):
+    """Layout permutation round trip: a valid permutation whose contiguous
+    blocks reproduce the assignment, preserving arrival order within each
+    partition."""
+    assign = np.array(assign_list, dtype=np.int64)
+    perm = assignment_to_order(assign, p)
+    n = assign.size
+    assert sorted(perm.tolist()) == list(range(n))
+    # invert: new-seq -> old-id, then check blocks are sorted by partition
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n)
+    parts_in_layout = assign[inv]
+    assert np.all(np.diff(parts_in_layout) >= 0)
+    # arrival order preserved within each partition
+    for j in np.unique(assign):
+        members = inv[parts_in_layout == j]
+        assert np.all(np.diff(members) > 0)
 
 
 @given(edge_sets(), st.integers(min_value=1, max_value=10))
