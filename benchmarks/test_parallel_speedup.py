@@ -1,0 +1,184 @@
+"""Parallel-backend speedup: threaded chunk workers vs the vectorized engine.
+
+The acceptance bar for the ``parallel`` backend: on the three largest
+graphs of the registry (powerlaw, twitter, rmat — most edges at the
+benchmark scale) running the dense-frontier algorithm set, it must be
+**>= 1.5x faster** than the sequential ``vectorized`` backend at >= 4
+chunk workers — while producing bit-identical results, which the timed
+passes double as a check of.
+
+The wall-clock gate is only meaningful where 4 workers have 4 cores to
+run on: on smaller machines (and on shared CI runners, where GitHub sets
+``CI=true``) the strict bar degrades to a bounded-overhead floor — the
+parallel backend may not be catastrophically slower than vectorized —
+and the bit-identity assertions keep their full strength everywhere.
+
+The second half re-proves the sweep-layer contracts under the new
+backend: a warm dedup sweep and a two-machine ``reprice`` must both
+report **0 executed fresh**, exactly as they do under the sequential
+backends (the backend is a pricing-irrelevant execution detail, excluded
+from cell identity).
+
+Scale via ``REPRO_BENCH_PARALLEL_SCALE`` (default 0.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro import store as repro_store
+from repro.algorithms import ALGORITHMS
+from repro.experiments import expand_matrix, run_cells
+from repro.frameworks.parallel import WORKERS_ENV_VAR, default_workers
+from repro.frameworks.trace import record_fingerprint
+from repro.machine.models import DEFAULT_MACHINE
+from repro.metrics import format_table
+from repro.store import ArtifactCache
+
+from conftest import print_header, timed_best
+
+SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.2"))
+WORKERS = 4
+REPS = 2
+
+#: The registry's three largest graphs by edge count at benchmark scale.
+LARGEST_GRAPHS = ["powerlaw", "twitter", "rmat"]
+
+#: Dense-frontier algorithms — the workload the chunk workers exist for.
+DENSE_ALGOS = ["PR", "SPMV", "BP", "PRD", "CC"]
+ALGO_KWARGS = {"PR": {"num_iterations": 10}, "BP": {"num_iterations": 10}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def four_workers():
+    """Pin the worker knob for every parallel run in this module."""
+    old = os.environ.get(WORKERS_ENV_VAR)
+    os.environ[WORKERS_ENV_VAR] = str(WORKERS)
+    yield
+    if old is None:
+        os.environ.pop(WORKERS_ENV_VAR, None)
+    else:
+        os.environ[WORKERS_ENV_VAR] = old
+
+
+def result_digest(result) -> str:
+    h = hashlib.sha256()
+    h.update(str(result.iterations).encode())
+    for k in sorted(result.values):
+        v = result.values[k]
+        h.update(k.encode())
+        h.update(str(v.dtype).encode())
+        h.update(np.ascontiguousarray(v).tobytes())
+    for rec in result.trace.records:
+        h.update(record_fingerprint(rec))
+    return h.hexdigest()
+
+
+def run_algos(graph, backend):
+    return {
+        a: ALGORITHMS[a](graph, backend=backend, **ALGO_KWARGS.get(a, {}))
+        for a in DENSE_ALGOS
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = {}
+    for name in LARGEST_GRAPHS:
+        graph = repro_store.load_graph(name, scale=SCALE)
+        # Warm both paths (layout memos, band plans, thread pool) and use
+        # the warm passes as the bit-identity check at benchmark scale.
+        vec = run_algos(graph, "vectorized")
+        par = run_algos(graph, "parallel")
+        for a in DENSE_ALGOS:
+            assert result_digest(vec[a]) == result_digest(par[a]), (name, a)
+        # Per-chunk timings landed in the measurement side channel.
+        assert any(r.trace.meta.get("parallel_chunks") for r in par.values())
+        t_vec = timed_best(lambda: run_algos(graph, "vectorized"), reps=REPS)
+        t_par = timed_best(lambda: run_algos(graph, "parallel"), reps=REPS)
+        rows[name] = (graph, t_vec, t_par)
+    return rows
+
+
+def test_parallel_speedup(measurements, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # timing above
+    table = []
+    for name, (graph, t_vec, t_par) in measurements.items():
+        table.append({
+            "Graph": name,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "vectorized (s)": t_vec,
+            f"parallel@{WORKERS} (s)": t_par,
+            "speedup": t_vec / t_par,
+        })
+    total_vec = sum(t for _, t, _ in measurements.values())
+    total_par = sum(t for _, _, t in measurements.values())
+    usable = default_workers()
+    print_header(
+        f"Parallel-backend speedup: {len(DENSE_ALGOS)} dense algorithms, "
+        f"{WORKERS} workers on {usable} usable CPU(s), scale {SCALE}"
+    )
+    print(format_table(table))
+    print(f"3 largest graphs: vectorized {total_vec:.2f}s, parallel "
+          f"{total_par:.2f}s -> {total_vec / total_par:.2f}x")
+
+    # The >= 1.5x bar needs >= 4 cores for 4 workers and a quiet machine
+    # (GitHub sets CI=true on its shared 2-vCPU runners).  Anywhere else,
+    # threads can only add dispatch overhead on top of the same kernels,
+    # so the enforceable property is that the overhead stays bounded.
+    strict = usable >= WORKERS and not os.environ.get("CI")
+    if strict:
+        assert total_vec / total_par >= 1.5, (
+            f"parallel speedup {total_vec / total_par:.2f}x < 1.5x "
+            f"at {WORKERS} workers on {usable} CPUs"
+        )
+        for name, (_, t_vec, t_par) in measurements.items():
+            assert t_par < t_vec, (name, t_vec, t_par)
+    else:
+        assert total_vec / total_par >= 0.25, (
+            f"parallel backend {total_par / total_vec:.1f}x slower than "
+            f"vectorized: dispatch overhead is no longer bounded"
+        )
+
+
+def test_warm_dedup_and_reprice_execute_nothing(tmp_path):
+    """Sweep-layer contracts under the parallel backend: a warm dedup
+    sweep and a two-machine reprice both report 0 fresh executions."""
+    cache = ArtifactCache(tmp_path / "cache")
+    cells = expand_matrix(
+        LARGEST_GRAPHS, DENSE_ALGOS, ["ligra"], ["vebo"],
+        params={"scale": 0.05}, algo_kwargs={a: {"num_iterations": 2}
+                                             for a in ("PR", "BP")},
+        backend="parallel",
+    )
+    stats_cold: dict = {}
+    run_cells(cells, store=tmp_path / "warm.jsonl", cache=cache, stats=stats_cold)
+    assert stats_cold["executed"] == stats_cold["groups"] > 0
+    assert stats_cold["replayed"] == 0
+
+    # Same cells, fresh results store, warm trace store: pure replay.
+    stats_warm: dict = {}
+    run_cells(cells, store=tmp_path / "warm2.jsonl", cache=cache, stats=stats_warm)
+    assert stats_warm["executed"] == 0
+    assert stats_warm["replayed"] == stats_warm["groups"] == stats_cold["groups"]
+
+    # Reprice across two machine personalities: still zero executions.
+    reprice = expand_matrix(
+        LARGEST_GRAPHS, DENSE_ALGOS, ["ligra"], ["vebo"],
+        params={"scale": 0.05}, algo_kwargs={a: {"num_iterations": 2}
+                                             for a in ("PR", "BP")},
+        backend="parallel", machines=[DEFAULT_MACHINE, "laptop"],
+    )
+    stats_rp: dict = {}
+    results = run_cells(
+        reprice, store=tmp_path / "repriced.jsonl", cache=cache,
+        replay_only=True, stats=stats_rp,
+    )
+    assert len(results) == len(reprice)
+    assert stats_rp["executed"] == 0
+    assert stats_rp["replayed"] == stats_rp["groups"] == stats_cold["groups"]

@@ -56,13 +56,17 @@ def belief_propagation(
         # the same stream every iteration — the vectorized backend hands
         # over the identical array objects, so ``tanh(w)`` is reused
         # across iterations (guarded by object identity, which cannot go
-        # stale while the reference is held here).
-        if st.get("_tw_srcs") is not srcs or st.get("_tw_dsts") is not dsts:
+        # stale while the reference is held here).  The memo is a single
+        # tuple rebound atomically: the parallel backend calls gather from
+        # several chunk workers at once, and a multi-key update could be
+        # observed torn.  Band slices are fresh objects, so those calls
+        # simply recompute — elementwise, hence still bit-identical.
+        cache = st.get("_tw")
+        if cache is None or cache[0] is not srcs or cache[1] is not dsts:
             w = coupling * edge_weights(srcs, dsts, orig_ids) / 32.0
-            st["_tw"] = np.tanh(w)
-            st["_tw_srcs"] = srcs
-            st["_tw_dsts"] = dsts
-        return np.arctanh(st["_tw"] * np.tanh(np.clip(st["belief"][srcs], -10, 10)))
+            cache = (srcs, dsts, np.tanh(w))
+            st["_tw"] = cache
+        return np.arctanh(cache[2] * np.tanh(np.clip(st["belief"][srcs], -10, 10)))
 
     def apply(touched, reduced, st):
         st["acc"][touched] = reduced
@@ -78,9 +82,20 @@ def belief_propagation(
         engine.edgemap(frontier, op, state, direction="push")
 
         def fold(ids_, st):
-            st["belief"] = (1.0 - damping) * st["belief"] + damping * (
-                prior + st["acc"]
-            )
+            # Elementwise over exactly ``ids_`` (the vertexmap contract):
+            # the parallel backend hands each chunk worker its own id band,
+            # so a whole-array rewrite here would damp once per band.
+            # vertexmap ids are sorted unique, so size == n means the full
+            # range — take the whole-array form then (same elementwise
+            # arithmetic, no gather/scatter copies).
+            b = st["belief"]
+            if ids_.size == b.size:
+                np.multiply(b, 1.0 - damping, out=b)
+                b += damping * (prior + st["acc"])
+            else:
+                b[ids_] = (1.0 - damping) * b[ids_] + damping * (
+                    prior[ids_] + st["acc"][ids_]
+                )
             return None
 
         engine.vertexmap(frontier, fold, state)

@@ -73,11 +73,13 @@ def make_engine(
 ):
     """Construct an engine plus empty trace for one algorithm run.
 
-    ``backend`` selects the engine implementation (``"reference"`` or
-    ``"vectorized"``); ``None`` defers to the ``REPRO_BACKEND``
-    environment variable and finally the reference default — see
-    :mod:`repro.frameworks.backends`.  Backends are conformance-tested
-    bit-identical, so the choice never changes results, only wall-clock.
+    ``backend`` selects the engine implementation (``"reference"``,
+    ``"vectorized"`` or ``"parallel"``); ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable and finally the reference
+    default — see :mod:`repro.frameworks.backends`.  Backends are
+    conformance-tested bit-identical, so the choice never changes
+    results, only wall-clock (the parallel backend additionally reads
+    ``REPRO_PARALLEL_WORKERS`` for its chunk-worker count).
     """
     from repro.frameworks.backends import make_engine_backend
 

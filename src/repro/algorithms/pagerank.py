@@ -51,7 +51,15 @@ def pagerank(
         engine.edgemap(frontier, op, state, direction="pull")
         # vertexmap: fold in the teleport term and swap buffers.
         def finish(ids, st):
-            st["rank"] = (1.0 - damping) / n + damping * st["next"]
+            # Elementwise over exactly ``ids`` (the vertexmap contract) so
+            # the parallel backend's per-band invocations compose.  ids are
+            # sorted unique, so size == n means the full range — use the
+            # whole-array form then (same arithmetic, no scatter copies).
+            if ids.size == n:
+                np.multiply(st["next"], damping, out=st["rank"])
+                st["rank"] += (1.0 - damping) / n
+            else:
+                st["rank"][ids] = (1.0 - damping) / n + damping * st["next"][ids]
             return None
 
         engine.vertexmap(frontier, finish, state)

@@ -29,9 +29,10 @@ artifact cache::
     vebo-reorder sweep report --out results.jsonl
 
 ``--backend`` (or the ``REPRO_BACKEND`` environment variable) selects the
-frontier-engine implementation; backends are conformance-tested
-bit-identical, so the choice only changes wall-clock, never the persisted
-numbers.
+frontier-engine implementation (``reference``, ``vectorized``, or
+``parallel``, whose chunk-worker count ``REPRO_PARALLEL_WORKERS`` sets);
+backends are conformance-tested bit-identical, so the choice only changes
+wall-clock, never the persisted numbers.
 
 ``vebo-reorder traces`` manages the persistent execution-trace store
 (:mod:`repro.store.traces`) the sweep's dedup scheduling replays from::
@@ -201,8 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tbuild.add_argument(
         "--backend", default=None, metavar="NAME",
-        help="engine backend executing trace misses (traces are "
-        "backend-independent; this only changes build wall-clock)",
+        help="engine backend executing trace misses (reference, vectorized, "
+        "parallel; traces are backend-independent, this only changes build "
+        "wall-clock — REPRO_PARALLEL_WORKERS sizes the parallel backend)",
     )
     tbuild.add_argument(
         "--refresh", action="store_true", help="re-execute even on a stored trace"
@@ -242,7 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srun.add_argument(
         "--backend", default=None, metavar="NAME",
-        help="engine backend executing every cell (reference, vectorized; "
+        help="engine backend executing every cell (reference, vectorized, "
+        "parallel — REPRO_PARALLEL_WORKERS sizes the parallel backend; "
         "default: $REPRO_BACKEND, else reference) — results are "
         "bit-identical across backends, only wall-clock differs",
     )

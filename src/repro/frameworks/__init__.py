@@ -4,6 +4,11 @@ from repro.frameworks.frontier import DensityClass, Frontier
 from repro.frameworks.trace import IterationRecord, WorkTrace
 from repro.frameworks.engine import EdgeOp, Engine, gather_rows
 from repro.frameworks.vectorized import VectorizedEngine
+from repro.frameworks.parallel import (
+    MIN_WORK_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ParallelEngine,
+)
 from repro.frameworks.backends import (
     BACKEND_ENV_VAR,
     BACKENDS,
@@ -33,6 +38,9 @@ __all__ = [
     "EdgeOp",
     "Engine",
     "VectorizedEngine",
+    "ParallelEngine",
+    "MIN_WORK_ENV_VAR",
+    "WORKERS_ENV_VAR",
     "gather_rows",
     "BACKEND_ENV_VAR",
     "BACKENDS",

@@ -16,6 +16,14 @@ repository ships two interchangeable implementations of it:
   constructions.  The differential conformance suite
   (``tests/frameworks/test_backend_conformance.py``) pins down the
   bit-equality.
+* ``parallel`` — :class:`repro.frameworks.parallel.ParallelEngine`, the
+  vectorized engine with fully dense edgemap/vertexmap steps fanned out
+  across threaded chunk workers over the Algorithm-1 partition bands;
+  each worker owns a disjoint destination range, so results stay
+  bit-identical at every worker count (``REPRO_PARALLEL_WORKERS``; see
+  the module docstring for the determinism argument).  Held to the same
+  conformance bar, plus a dedicated determinism suite
+  (``tests/frameworks/test_parallel_determinism.py``).
 
 Backends implement the :class:`EngineBackend` protocol — construction
 from ``(graph, boundaries, trace, exact_sources)`` plus the ``edgemap`` /
@@ -149,10 +157,12 @@ def _populate() -> None:
     # Imported here (not at module top) so engine.py and vectorized.py can
     # import this module's registry helpers without a cycle.
     from repro.frameworks.engine import Engine
+    from repro.frameworks.parallel import ParallelEngine
     from repro.frameworks.vectorized import VectorizedEngine
 
     register_backend("reference", Engine)
     register_backend("vectorized", VectorizedEngine)
+    register_backend("parallel", ParallelEngine)
 
 
 _populate()

@@ -1,0 +1,380 @@
+"""The ``parallel`` engine backend: threaded chunk workers over dense steps.
+
+:class:`ParallelEngine` is the third engine backend.  It subclasses the
+``vectorized`` backend and overrides exactly one thing: **fully dense**
+edgemap/vertexmap steps execute concurrently across a pool of chunk
+workers instead of as one monolithic numpy call.  Sparse and medium
+frontiers — small, latency-bound, dominated by Python dispatch rather
+than array arithmetic — keep the vectorized backend's sequential fast
+paths unchanged.
+
+Chunk ownership
+---------------
+Work is split along the engine's own Algorithm-1 accounting partitions
+(``boundaries``, the 384-chunk layout every framework personality prices
+at).  Contiguous runs of partitions are grouped into at most ``workers``
+*bands*, balanced by edge count, and each band owns a **disjoint
+destination vertex range** ``[lo, hi)``:
+
+* **pull** — the CSC stream is destination-major, so band ``i``'s edges
+  are the contiguous slice ``csc.adj[offsets[lo]:offsets[hi]]``;
+* **push** — the cached destination-stable ``push_perm`` groups the CSR
+  stream by destination, so the same offset slice of the permutation
+  selects band ``i``'s edges while preserving CSR order *within* each
+  destination;
+* **vertexmap** — band ``i`` applies the vertex function to ids
+  ``[lo, hi)``.
+
+Why the results are bit-identical
+---------------------------------
+Every reduction accumulates **per destination**, and each destination
+lives in exactly one band, so splitting the stream at destination
+boundaries cannot change which values meet in an accumulator — only
+*where* the accumulation happens.  Within a band the kernels are the
+vectorized backend's own (``np.bincount`` for ``add``, which performs the
+identical float64 additions in the identical sequential order as
+``np.add.at``; ``np.ufunc.reduceat`` over destination segments for
+``min``/``or``; the reference ``ufunc.at`` fallback for non-standard
+identities, fed the destination-grouped stream whose within-destination
+order is the CSR order the reference would use).  Each worker writes its
+results into a disjoint slice of one preallocated output, and the
+user-visible ``apply`` runs once, on the orchestrating thread, over the
+same ``(touched, reduced)`` pair every other backend produces.  The
+output is therefore a pure function of the inputs — independent of
+worker count, scheduling order, and interleaving — which the determinism
+suite (``tests/frameworks/test_parallel_determinism.py``) hammers with
+hostile floats at worker counts 1/2/4/8 and the differential conformance
+suite holds to the reference oracle across the full algorithm matrix.
+
+The one semantic requirement this adds: an :class:`EdgeOp`'s ``gather``
+(and a vertexmap function) must be *elementwise-pure* — the value it
+produces for edge/vertex ``k`` may depend only on ``k``'s endpoints and
+the read-only state, never on which other elements share the call.
+Every shipped algorithm and every conformance-suite op satisfies this by
+construction (they are all numpy-indexing expressions).
+
+Threads, not processes
+----------------------
+Chunk workers are a shared :class:`~concurrent.futures.ThreadPoolExecutor`:
+workers read the graph, the layout and the state arrays **zero-copy**,
+and the per-band numpy kernels do their heavy lifting in C.  The
+shared-memory multiprocess alternative was rejected after prototyping
+the cost structure: every dense step would have to ship gather results
+or state deltas across a process boundary (the state is mutated by
+``apply`` between steps, so workers cannot hold a stale copy), and at
+this repository's scales that serialization costs more than the step
+itself — whereas threads pay only the pool dispatch.  The measured
+comparison lives in ``benchmarks/test_parallel_speedup.py``.
+
+Knobs (read once, at engine construction):
+
+* ``REPRO_PARALLEL_WORKERS`` — chunk worker count; defaults to the
+  process's usable CPU count.  Constructor kwarg ``workers=`` overrides.
+* ``REPRO_PARALLEL_MIN_WORK`` — minimum dense-step size (edges for
+  edgemap, vertices for vertexmap) worth fanning out; smaller steps take
+  the inherited sequential path.  Constructor kwarg ``min_work=``
+  overrides; the determinism tests pin it to 0 to force the parallel
+  path on tiny graphs.
+
+Every parallel step appends its per-chunk wall-clock measurements to the
+trace's ``meta`` side channel (``trace.meta["parallel_chunks"]``): one
+entry per step with the band vertex ranges, edge counts and seconds.
+That is deliberately *measurement*, not accounting — it never enters
+record fingerprints or trace equality — and it is the calibration data a
+future ``machines calibrate`` needs to fit per-thread cost-model
+coefficients against real executions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.frameworks.engine import EdgeOp
+from repro.frameworks.frontier import Frontier
+from repro.frameworks.trace import WorkTrace
+from repro.frameworks.vectorized import VectorizedEngine, _is_positive_zero
+from repro.graph.csr import INDEX_DTYPE, Graph
+
+__all__ = [
+    "MIN_WORK_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "ParallelEngine",
+    "default_workers",
+    "resolve_min_work",
+    "resolve_workers",
+]
+
+#: Environment variable holding the process-wide chunk-worker count.
+WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+
+#: Environment variable holding the minimum dense-step size worth fanning
+#: out (edges for edgemap, active vertices for vertexmap).
+MIN_WORK_ENV_VAR = "REPRO_PARALLEL_MIN_WORK"
+
+#: Default for :data:`MIN_WORK_ENV_VAR`: below this, thread dispatch costs
+#: more than it buys and the sequential vectorized path runs instead.
+DEFAULT_MIN_WORK = 4096
+
+
+def default_workers() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _env_int(var: str, fallback: int) -> int:
+    raw = os.environ.get(var)
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise SimulationError(f"{var} must be an integer, got {raw!r}") from None
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Chunk worker count: explicit argument > ``REPRO_PARALLEL_WORKERS``
+    > the usable CPU count."""
+    if workers is None:
+        workers = _env_int(WORKERS_ENV_VAR, default_workers())
+    workers = int(workers)
+    if workers < 1:
+        raise SimulationError(f"parallel worker count must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_min_work(min_work: int | None = None) -> int:
+    """Minimum dense-step size worth fanning out: explicit argument >
+    ``REPRO_PARALLEL_MIN_WORK`` > :data:`DEFAULT_MIN_WORK`."""
+    if min_work is None:
+        min_work = _env_int(MIN_WORK_ENV_VAR, DEFAULT_MIN_WORK)
+    return max(0, int(min_work))
+
+
+# ----------------------------------------------------------------------
+# Shared thread pools: one per worker count, created lazily, reused for
+# the process lifetime.  Per-engine pools would pay thread start-up on
+# every algorithm run; per-count pools keep dispatch at queue-put cost
+# and sidestep any grow/shrink races between concurrently live engines.
+# ----------------------------------------------------------------------
+
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix=f"repro-par{workers}"
+                )
+                _POOLS[workers] = pool
+    return pool
+
+
+class ParallelEngine(VectorizedEngine):
+    """Drop-in engine backend executing dense steps across chunk workers.
+
+    Same constructor contract as the other backends (``workers`` and
+    ``min_work`` are optional extras resolved from the environment when
+    omitted, so the registry's uniform construction path picks up the
+    ``REPRO_PARALLEL_WORKERS`` knob); same ``edgemap``/``vertexmap``
+    semantics, bit-identical results at every worker count — see the
+    module docstring for the ownership argument.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        boundaries: np.ndarray,
+        trace: WorkTrace,
+        exact_sources: bool = False,
+        workers: int | None = None,
+        min_work: int | None = None,
+    ) -> None:
+        super().__init__(graph, boundaries, trace, exact_sources=exact_sources)
+        self._workers = resolve_workers(workers)
+        self._min_work = resolve_min_work(min_work)
+
+    # ------------------------------------------------------------------
+    # Band planning: contiguous runs of accounting partitions, edge-
+    # balanced, at most `workers` of them.
+    # ------------------------------------------------------------------
+    def _band_plan(self, workers: int) -> np.ndarray:
+        """Vertex split points (``int64[B + 1]``, ``B <= workers``) whose
+        consecutive pairs are the chunk bands.  Every split point is an
+        Algorithm-1 partition boundary, so accounting chunks are never
+        torn across workers.  Cached per layout (the plan is a pure
+        function of (graph, boundaries, workers))."""
+        shared = self._shared
+        plan = shared.band_plans.get(workers)
+        if plan is None:
+            with shared.lock:
+                plan = shared.band_plans.get(workers)
+                if plan is None:
+                    bounds = self.boundaries
+                    # Edges before each partition boundary (destination-
+                    # major count — valid for pull slices and for the
+                    # destination-grouped push permutation alike).
+                    cum = self.graph.csc.offsets[bounds]
+                    total = int(cum[-1])
+                    targets = (np.arange(1, workers, dtype=np.int64) * total) // workers
+                    splits = bounds[np.searchsorted(cum, targets, side="left")]
+                    plan = np.unique(
+                        np.concatenate((bounds[:1], splits, bounds[-1:]))
+                    ).astype(INDEX_DTYPE)
+                    shared.band_plans[workers] = plan
+        return plan
+
+    def _note_chunk_timings(
+        self, kind: str, direction: str, bands: list[tuple[int, int, int, float]]
+    ) -> None:
+        """Append one step's per-chunk wall-clock to the trace meta
+        channel — measurement for machine-model calibration, never part
+        of trace identity."""
+        self.trace.meta.setdefault("parallel_chunks", []).append(
+            {
+                "step": len(self.trace.records) - 1,
+                "kind": kind,
+                "direction": direction,
+                "workers": self._workers,
+                "bands": [
+                    {
+                        "vertices": [int(lo), int(hi)],
+                        "edges": int(edges),
+                        "seconds": float(seconds),
+                    }
+                    for lo, hi, edges, seconds in bands
+                ],
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Dense edgemap
+    # ------------------------------------------------------------------
+    def _finish_full(
+        self, frontier: Frontier, op: EdgeOp, state: dict, direction: str
+    ) -> Frontier:
+        graph = self.graph
+        shared = self._shared
+        n = graph.num_vertices
+        if self._workers <= 1 or graph.num_edges < max(1, self._min_work):
+            return super()._finish_full(frontier, op, state, direction)
+        pts = self._band_plan(self._workers)
+        if pts.size <= 2:  # single band: fan-out would only add dispatch
+            return super()._finish_full(frontier, op, state, direction)
+
+        if direction == "pull":
+            srcs, dsts = graph.csc.adj, shared.csc_dst
+            perm = None
+        else:
+            srcs, dsts = shared.csr_src, graph.csr.adj
+            perm = shared.push_perm  # materialize lazily on this thread
+        self._record_edgemap(direction, frontier, srcs, dsts)
+        if dsts.size == 0:  # pragma: no cover - min_work gate keeps m >= 1
+            return Frontier.empty(n)
+
+        # Materialize every lazy layout member on the orchestrating thread
+        # before fan-out; workers then only read immutable arrays.
+        touched = shared.full_touched
+        full_starts = shared.full_starts
+        offsets = graph.csc.offsets
+        csr_adj = graph.csr.adj
+        t_idx = np.searchsorted(touched, pts)
+        reduced = np.empty(touched.size, dtype=np.float64)
+
+        use_add = op.reduce == "add" and _is_positive_zero(op.identity)
+        use_min = op.reduce == "min" and op.identity == np.inf
+        use_or = op.reduce == "or" and op.identity == -np.inf
+
+        def run_band(i: int) -> tuple[int, int, int, float]:
+            t0 = time.perf_counter()
+            lo, hi = int(pts[i]), int(pts[i + 1])
+            s, e = int(offsets[lo]), int(offsets[hi])
+            ts, te = int(t_idx[i]), int(t_idx[i + 1])
+            if e > s:
+                if perm is None:
+                    band_srcs = srcs[s:e]
+                    band_dsts = dsts[s:e]
+                else:
+                    idx = perm[s:e]
+                    band_srcs = srcs[idx]
+                    band_dsts = csr_adj[idx]
+                vals = np.asarray(
+                    op.gather(band_srcs, band_dsts, state), dtype=np.float64
+                )
+                if use_add:
+                    acc = np.bincount(
+                        band_dsts - lo, weights=vals, minlength=hi - lo
+                    )
+                    reduced[ts:te] = acc[touched[ts:te] - lo]
+                elif use_min:
+                    reduced[ts:te] = np.minimum.reduceat(vals, full_starts[ts:te] - s)
+                elif use_or:
+                    reduced[ts:te] = np.maximum.reduceat(vals, full_starts[ts:te] - s)
+                else:
+                    acc = np.full(hi - lo, op.identity, dtype=np.float64)
+                    self._reduce_at(op.reduce, acc, band_dsts - lo, vals)
+                    reduced[ts:te] = acc[touched[ts:te] - lo]
+            return lo, hi, e - s, time.perf_counter() - t0
+
+        pool = _get_pool(self._workers)
+        futures = [pool.submit(run_band, i) for i in range(pts.size - 1)]
+        timings = [f.result() for f in futures]
+        self._note_chunk_timings("edgemap", direction, timings)
+
+        changed = op.apply(touched, reduced, state)
+        return self._next_frontier(touched, changed)
+
+    # ------------------------------------------------------------------
+    # Dense vertexmap
+    # ------------------------------------------------------------------
+    def vertexmap(self, frontier, fn, state):
+        n = self.graph.num_vertices
+        if (
+            self._workers <= 1
+            or frontier.count() != n
+            or n < max(1, self._min_work)
+        ):
+            return super().vertexmap(frontier, fn, state)
+        pts = self._band_plan(self._workers)
+        if pts.size <= 2:
+            return super().vertexmap(frontier, fn, state)
+
+        self._record_vertexmap(frontier)
+        ids = frontier.ids  # dense: ids[k] == k, so slices are id ranges
+        keeps: list = [None] * (pts.size - 1)
+
+        def run_band(i: int) -> tuple[int, int, int, float]:
+            t0 = time.perf_counter()
+            lo, hi = int(pts[i]), int(pts[i + 1])
+            keeps[i] = fn(ids[lo:hi], state)
+            return lo, hi, 0, time.perf_counter() - t0
+
+        pool = _get_pool(self._workers)
+        futures = [pool.submit(run_band, i) for i in range(pts.size - 1)]
+        timings = [f.result() for f in futures]
+        self._note_chunk_timings("vertexmap", "-", timings)
+
+        if all(k is None for k in keeps):
+            return frontier
+        if any(k is None for k in keeps):
+            raise SimulationError(
+                "vertexmap filter must be consistent across chunks "
+                "(every chunk returns a mask, or every chunk returns None)"
+            )
+        keep = np.concatenate([np.asarray(k, dtype=bool) for k in keeps])
+        if keep.shape != ids.shape:
+            raise SimulationError("vertexmap filter must match the active set")
+        return Frontier.from_ids(ids[keep], n)

@@ -119,12 +119,23 @@ def traces_equal(a: "WorkTrace", b: "WorkTrace") -> bool:
 
 @dataclass
 class WorkTrace:
-    """Sequence of iteration records plus identifying metadata."""
+    """Sequence of iteration records plus identifying metadata.
+
+    ``meta`` is the trace's *measurement side channel*: free-form,
+    in-process-only annotations about how the trace was produced (e.g.
+    the ``parallel`` backend's per-chunk wall-clock timings, the raw
+    material for fitting machine-model coefficients).  It is deliberately
+    excluded from :func:`traces_equal`, from record fingerprints and from
+    the persisted trace bundles — wall-clock is nondeterministic, and two
+    traces that did identical *work* must stay interchangeable for replay
+    and pricing regardless of how long any chunk happened to take.
+    """
 
     algorithm: str
     graph_name: str
     num_partitions: int
     records: list[IterationRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict, compare=False)
 
     def append(self, record: IterationRecord) -> None:
         self.records.append(record)

@@ -55,6 +55,7 @@ keeping conformance unconditional.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from functools import cached_property
 from weakref import WeakKeyDictionary
@@ -107,6 +108,14 @@ class _SharedLayout:
             OrderedDict()
         )
         self.miss_memo_bytes = 0
+        #: workers -> vertex split points; the parallel backend's cached
+        #: chunk-band plans (repro.frameworks.parallel), guarded by ``lock``.
+        self.band_plans: dict[int, np.ndarray] = {}
+        #: Guards lazy per-layout structures that may be requested from
+        #: several threads (currently the band plans).  The accounting
+        #: memos (``record_templates``, ``miss_memo``) are only touched by
+        #: the engine executing a step, which is always a single thread.
+        self.lock = threading.Lock()
 
     # -- dense-stream geometry -----------------------------------------
     @cached_property
@@ -143,17 +152,29 @@ class _SharedLayout:
 #: graph -> {boundaries bytes -> _SharedLayout}; weak so graphs can die.
 _LAYOUTS: "WeakKeyDictionary[Graph, dict[bytes, _SharedLayout]]" = WeakKeyDictionary()
 
+#: Guards every read-modify-write of ``_LAYOUTS``.  Engines are built
+#: concurrently — a thread pool constructing one engine per worker, or the
+#: parallel backend's own machinery — and the unlocked check-then-insert
+#: used to race: two threads could each miss, build a duplicate
+#: _SharedLayout (torn sharing: their miss memos and record templates then
+#: diverge for the process lifetime) and clobber each other's insert.
+#: Building *inside* the lock is deliberate: the lock guarantees exactly
+#: one build per (graph, boundaries), which the thread-hammer regression
+#: test pins down by spying on the construction count.
+_LAYOUTS_LOCK = threading.Lock()
+
 
 def _layout_for(graph: Graph, boundaries: np.ndarray) -> _SharedLayout:
-    per_graph = _LAYOUTS.get(graph)
-    if per_graph is None:
-        per_graph = {}
-        _LAYOUTS[graph] = per_graph
     key = boundaries.tobytes()
-    layout = per_graph.get(key)
-    if layout is None:
-        layout = _SharedLayout(graph, boundaries)
-        per_graph[key] = layout
+    with _LAYOUTS_LOCK:
+        per_graph = _LAYOUTS.get(graph)
+        if per_graph is None:
+            per_graph = {}
+            _LAYOUTS[graph] = per_graph
+        layout = per_graph.get(key)
+        if layout is None:
+            layout = _SharedLayout(graph, boundaries)
+            per_graph[key] = layout
     return layout
 
 

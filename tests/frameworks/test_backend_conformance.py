@@ -1,13 +1,19 @@
-"""Differential conformance: the vectorized backend IS the reference engine.
+"""Differential conformance: the fast backends ARE the reference engine.
 
-The ``vectorized`` backend exists purely for throughput; its contract is
-bit-equality with the reference engine on everything observable:
+The ``vectorized`` and ``parallel`` backends exist purely for throughput;
+their contract is bit-equality with the reference engine on everything
+observable:
 
 * final algorithm state (every value array, dtype included),
 * the frontier sequence (mask and id list after every edgemap/vertexmap),
 * trace accounting (every field of every :class:`IterationRecord`).
 
-This suite pins the contract down three ways:
+This suite pins the contract down three ways, for **every** non-reference
+backend (each test is parametrized over ``CONFORMANCE_BACKENDS``; the
+``parallel`` backend additionally runs with several chunk workers and a
+zero fan-out threshold, so its concurrent dense paths are genuinely
+exercised on these small graphs — worker-count invariance itself is pinned
+separately by ``test_parallel_determinism.py``):
 
 1. **Lockstep engine stepping** — both engines execute the same edgemap
    sequence one step at a time, compared after *every* step, across
@@ -26,7 +32,9 @@ This suite pins the contract down three ways:
 vectorized kernels (``np.bincount``, reference-order scatters) perform the
 identical float64 additions in the identical order as ``np.add.at`` —
 this is why the backend does not use ``np.add.reduceat``, whose pairwise
-segment sums drift in the last ulp.
+segment sums drift in the last ulp.  The parallel backend inherits the
+same kernels per destination-owned chunk, which is why splitting a dense
+step across workers cannot change a single bit either.
 """
 
 from __future__ import annotations
@@ -40,6 +48,11 @@ from repro.experiments.runner import prepare
 from repro.frameworks.backends import BACKENDS, get_backend
 from repro.frameworks.engine import EdgeOp, Engine
 from repro.frameworks.frontier import Frontier
+from repro.frameworks.parallel import (
+    MIN_WORK_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ParallelEngine,
+)
 from repro.frameworks.trace import WorkTrace
 from repro.frameworks.vectorized import VectorizedEngine
 from repro.graph import generators as gen
@@ -48,6 +61,27 @@ from repro.partition.algorithm1 import chunk_boundaries
 
 CONFORMANCE_ORDERINGS = ["original", "vebo", "hilbert"]
 ALL_ALGOS = list(ALGORITHMS)
+
+#: Every backend that must match the reference oracle bit for bit, with a
+#: factory building an engine whose fast paths are actually exercised at
+#: test scale (the parallel backend would otherwise fall back to its
+#: sequential path on graphs this small / machines with one core).
+ENGINE_FACTORIES = {
+    "vectorized": VectorizedEngine,
+    "parallel": lambda *a, **kw: ParallelEngine(*a, workers=4, min_work=0, **kw),
+}
+CONFORMANCE_BACKENDS = list(ENGINE_FACTORIES)
+
+
+@pytest.fixture(params=CONFORMANCE_BACKENDS)
+def backend(request, monkeypatch):
+    """Backend name under test; for ``parallel``, the environment knobs
+    force multi-worker fan-out so registry-constructed engines (the
+    whole-algorithm runs) take the concurrent paths too."""
+    if request.param == "parallel":
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
+    return request.param
 
 RECORD_FIELDS = ("kind", "direction", "density", "active_vertices",
                  "active_edges", "src_miss", "dst_miss")
@@ -81,12 +115,13 @@ def assert_states_identical(ref: dict, vec: dict) -> None:
             assert a == b, k
 
 
-def make_pair(graph: Graph, p: int, exact_sources: bool = False):
+def make_pair(graph: Graph, p: int, exact_sources: bool = False,
+              backend: str = "vectorized"):
     boundaries = chunk_boundaries(graph.in_degrees(), p)
     engines = []
-    for cls in (Engine, VectorizedEngine):
+    for build in (Engine, ENGINE_FACTORIES[backend]):
         trace = WorkTrace(algorithm="conf", graph_name=graph.name, num_partitions=p)
-        engines.append(cls(graph, boundaries, trace, exact_sources=exact_sources))
+        engines.append(build(graph, boundaries, trace, exact_sources=exact_sources))
     return engines
 
 
@@ -97,8 +132,10 @@ def make_pair(graph: Graph, p: int, exact_sources: bool = False):
 def test_backend_registry():
     assert BACKENDS["reference"] is Engine
     assert BACKENDS["vectorized"] is VectorizedEngine
+    assert BACKENDS["parallel"] is ParallelEngine
     assert get_backend("reference") is Engine
     assert get_backend("vectorized") is VectorizedEngine
+    assert get_backend("parallel") is ParallelEngine
 
 
 # ----------------------------------------------------------------------
@@ -135,7 +172,7 @@ def lockstep_graph():
 
 @pytest.mark.parametrize("direction", ["push", "pull", "auto"])
 @pytest.mark.parametrize("seed_frontier", ["sparse", "medium", "dense"])
-def test_lockstep_min_relaxation(lockstep_graph, direction, seed_frontier):
+def test_lockstep_min_relaxation(lockstep_graph, backend, direction, seed_frontier):
     """BF-shaped min relaxation, compared after every step, from three
     starting densities."""
     g = lockstep_graph
@@ -145,7 +182,7 @@ def test_lockstep_min_relaxation(lockstep_graph, direction, seed_frontier):
     seeds = np.flatnonzero(rng.random(n) < frac)
     if seeds.size == 0:
         seeds = np.array([0])
-    ref, vec = make_pair(g, 24)
+    ref, vec = make_pair(g, 24, backend=backend)
     st_ref = {"dist": np.where(np.isin(np.arange(n), seeds), 0.0, np.inf)}
     st_vec = {"dist": st_ref["dist"].copy()}
     f_ref = Frontier.from_ids(seeds, n)
@@ -162,15 +199,15 @@ def test_lockstep_min_relaxation(lockstep_graph, direction, seed_frontier):
 
 
 @pytest.mark.parametrize("direction", ["push", "pull"])
-def test_lockstep_dense_add_iterations(lockstep_graph, direction):
-    """PR/BP-shaped repeated dense sweeps: the vectorized backend replays
-    its cached dense record and must still match the reference on every
+def test_lockstep_dense_add_iterations(lockstep_graph, backend, direction):
+    """PR/BP-shaped repeated dense sweeps: the fast backends replay their
+    cached dense record and must still match the reference on every
     iteration."""
     g = lockstep_graph
     n = g.num_vertices
     rng = np.random.default_rng(7)
     values = rng.random(n)
-    ref, vec = make_pair(g, 24)
+    ref, vec = make_pair(g, 24, backend=backend)
     st_ref = {"acc": np.zeros(n)}
     st_vec = {"acc": np.zeros(n)}
     op = _add_op(values)
@@ -183,11 +220,11 @@ def test_lockstep_dense_add_iterations(lockstep_graph, direction):
     assert_traces_identical(ref.trace, vec.trace)
 
 
-def test_lockstep_pull_with_candidates(lockstep_graph):
+def test_lockstep_pull_with_candidates(lockstep_graph, backend):
     """BFS-shaped candidate-restricted pull."""
     g = lockstep_graph
     n = g.num_vertices
-    ref, vec = make_pair(g, 24)
+    ref, vec = make_pair(g, 24, backend=backend)
     src = int(np.argmax(g.out_degrees()))
     st_ref = {"dist": np.full(n, np.inf)}
     st_ref["dist"][src] = 0.0
@@ -209,10 +246,10 @@ def test_lockstep_pull_with_candidates(lockstep_graph):
     assert_traces_identical(ref.trace, vec.trace)
 
 
-def test_lockstep_vertexmap(lockstep_graph):
+def test_lockstep_vertexmap(lockstep_graph, backend):
     g = lockstep_graph
     n = g.num_vertices
-    ref, vec = make_pair(g, 24)
+    ref, vec = make_pair(g, 24, backend=backend)
     st_ref = {"x": np.arange(n, dtype=np.float64)}
     st_vec = {"x": st_ref["x"].copy()}
 
@@ -232,13 +269,13 @@ def test_lockstep_vertexmap(lockstep_graph):
     assert_traces_identical(ref.trace, vec.trace)
 
 
-def test_exact_sources_accounting_conforms(lockstep_graph):
+def test_exact_sources_accounting_conforms(lockstep_graph, backend):
     """The exact (partition, source) dedup accounting path must also be
     bit-identical, including on replayed dense records."""
     g = lockstep_graph
     n = g.num_vertices
     values = np.arange(n, dtype=np.float64)
-    ref, vec = make_pair(g, 24, exact_sources=True)
+    ref, vec = make_pair(g, 24, exact_sources=True, backend=backend)
     op = _add_op(values)
     st_ref = {"acc": np.zeros(n)}
     st_vec = {"acc": np.zeros(n)}
@@ -251,7 +288,7 @@ def test_exact_sources_accounting_conforms(lockstep_graph):
     assert_traces_identical(ref.trace, vec.trace)
 
 
-def test_nonstandard_identity_falls_back_bit_identical(lockstep_graph):
+def test_nonstandard_identity_falls_back_bit_identical(lockstep_graph, backend):
     """An EdgeOp with a non-standard identity (here: min with a finite
     ceiling) must take the reference fallback kernel and still conform."""
     g = lockstep_graph
@@ -266,7 +303,7 @@ def test_nonstandard_identity_falls_back_bit_identical(lockstep_graph):
 
     op = EdgeOp(gather=gather, reduce="min", apply=apply, identity=5.0)
     rng = np.random.default_rng(3)
-    ref, vec = make_pair(g, 24)
+    ref, vec = make_pair(g, 24, backend=backend)
     st_ref = {"v": rng.random(n) * 10.0, "out": np.zeros(n)}
     st_vec = {"v": st_ref["v"].copy(), "out": np.zeros(n)}
     for f in (Frontier.all_vertices(n), Frontier.from_ids(np.arange(0, n, 5), n)):
@@ -307,37 +344,46 @@ def algo_graph():
 
 @pytest.mark.parametrize("ordering", CONFORMANCE_ORDERINGS)
 @pytest.mark.parametrize("algo", ALL_ALGOS)
-def test_algorithms_conform_across_orderings(algo_graph, algo, ordering):
+def test_algorithms_conform_across_orderings(algo_graph, monkeypatch, algo, ordering):
     """All 8 algorithms x {original, VEBO, Hilbert} orderings: final
     state, frontier-driven iteration counts and trace accounting are
-    bit-identical between backends."""
+    bit-identical between the reference and every fast backend."""
+    monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
     p = 16
     prep = prepare(algo_graph, ordering, num_partitions=p)
     g = prep.graph
     source = int(prep.perm[int(np.argmax(algo_graph.out_degrees()))])
     a = run_algorithm(g, algo, "reference", p, source)
-    b = run_algorithm(g, algo, "vectorized", p, source)
-    assert_results_identical(a, b)
+    for name in CONFORMANCE_BACKENDS:
+        b = run_algorithm(g, algo, name, p, source)
+        assert_results_identical(a, b)
 
 
 @pytest.mark.parametrize("algo", ["CC"])
-def test_cc_async_conforms(algo_graph, algo):
+def test_cc_async_conforms(algo_graph, monkeypatch, algo):
     """The asynchronous CC sweep records full-stream pull rounds; the
-    vectorized backend replays them from its dense-record cache."""
+    fast backends replay them from their dense-record cache."""
+    monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
     a = ALGORITHMS[algo](algo_graph, num_partitions=8, mode="async", backend="reference")
-    b = ALGORITHMS[algo](algo_graph, num_partitions=8, mode="async", backend="vectorized")
-    assert_results_identical(a, b)
+    for name in CONFORMANCE_BACKENDS:
+        b = ALGORITHMS[algo](algo_graph, num_partitions=8, mode="async", backend=name)
+        assert_results_identical(a, b)
 
 
-def test_full_dataset_matrix_conforms():
+def test_full_dataset_matrix_conforms(monkeypatch):
     """Acceptance sweep: every registered dataset x all 8 algorithms,
-    original + VEBO + Hilbert layouts, bit-identical end to end.
+    original + VEBO + Hilbert layouts, reference vs every fast backend,
+    bit-identical end to end.
 
     Scaled-down builds keep this tractable; the layouts and frontier
     shapes are what matter, not the vertex counts.
     """
     from repro import store
 
+    monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
     p = 16
     for name in store.available_datasets():
         spec = store.get_dataset(name)
@@ -349,8 +395,9 @@ def test_full_dataset_matrix_conforms():
             source = int(prep.perm[int(np.argmax(graph.out_degrees()))])
             for algo in ALL_ALGOS:
                 a = run_algorithm(g, algo, "reference", p, source)
-                b = run_algorithm(g, algo, "vectorized", p, source)
-                assert_results_identical(a, b)
+                for backend_name in CONFORMANCE_BACKENDS:
+                    b = run_algorithm(g, algo, backend_name, p, source)
+                    assert_results_identical(a, b)
 
 
 # ----------------------------------------------------------------------
@@ -393,9 +440,15 @@ def conformance_case(draw):
     return graph, mask, p, reduce, identity, direction, candidates, values
 
 
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
 @given(case=conformance_case())
 @settings(max_examples=120, deadline=None)
-def test_single_edgemap_conforms(case):
+# np.errstate is thread-local: the block below covers the orchestrating
+# thread, but the parallel backend's chunk workers reduce hostile 1e308
+# sums under the pool threads' default state, so the overflow-to-inf
+# RuntimeWarning (expected — inf must round-trip bit-identically) leaks.
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_single_edgemap_conforms(backend_name, case):
     graph, mask, p, reduce, identity, direction, candidates, values = case
     n = graph.num_vertices
 
@@ -409,9 +462,9 @@ def test_single_edgemap_conforms(case):
     op = EdgeOp(gather=gather, reduce=reduce, apply=apply, identity=identity)
     boundaries = chunk_boundaries(graph.in_degrees(), p)
     outs, states, traces = [], [], []
-    for cls in (Engine, VectorizedEngine):
+    for build in (Engine, ENGINE_FACTORIES[backend_name]):
         trace = WorkTrace(algorithm="hyp", graph_name="hyp", num_partitions=p)
-        eng = cls(graph, boundaries, trace)
+        eng = build(graph, boundaries, trace)
         st_ = {"vals": values.copy(), "seen": np.zeros(n)}
         with np.errstate(over="ignore"):  # hostile 1e308 sums overflow to inf
             out = eng.edgemap(
@@ -426,10 +479,11 @@ def test_single_edgemap_conforms(case):
     assert_traces_identical(*traces)
 
 
+@pytest.mark.parametrize("backend_name", CONFORMANCE_BACKENDS)
 @given(case=conformance_case())
 @settings(max_examples=60, deadline=None)
-def test_float32_gather_upcasts_identically(case):
-    """A float32 gather must accumulate in float64 on both backends (the
+def test_float32_gather_upcasts_identically(backend_name, case):
+    """A float32 gather must accumulate in float64 on every backend (the
     explicit cast in the reduction kernels): differential, plus a direct
     check that accumulation really happened at float64 precision."""
     graph, mask, p, reduce, _identity, direction, candidates, values = case
@@ -449,9 +503,9 @@ def test_float32_gather_upcasts_identically(case):
     op = EdgeOp(gather=gather, reduce=reduce, apply=apply, identity=identity)
     boundaries = chunk_boundaries(graph.in_degrees(), p)
     states = []
-    for cls in (Engine, VectorizedEngine):
+    for build in (Engine, ENGINE_FACTORIES[backend_name]):
         trace = WorkTrace(algorithm="f32", graph_name="f32", num_partitions=p)
-        eng = cls(graph, boundaries, trace)
+        eng = build(graph, boundaries, trace)
         st_ = {"vals": values.copy(), "seen": np.zeros(n)}
         eng.edgemap(
             Frontier.from_mask(mask.copy()), op, st_,

@@ -20,6 +20,7 @@ from repro.frameworks.backends import (
 )
 from repro.frameworks.engine import EdgeOp, Engine
 from repro.frameworks.frontier import Frontier
+from repro.frameworks.parallel import WORKERS_ENV_VAR, ParallelEngine
 from repro.frameworks.trace import WorkTrace
 from repro.frameworks.vectorized import VectorizedEngine
 from repro.graph import generators as gen
@@ -42,6 +43,9 @@ class TestSelection:
         monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
         assert resolve_backend() == "vectorized"
         assert get_backend() is VectorizedEngine
+        monkeypatch.setenv(BACKEND_ENV_VAR, "parallel")
+        assert resolve_backend() == "parallel"
+        assert get_backend() is ParallelEngine
 
     def test_explicit_argument_beats_env(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
@@ -60,19 +64,19 @@ class TestSelection:
 
     def test_available_backends(self):
         assert available_backends() == sorted(BACKENDS)
-        assert {"reference", "vectorized"} <= set(available_backends())
+        assert {"reference", "vectorized", "parallel"} <= set(available_backends())
 
     def test_register_duplicate_raises(self):
         with pytest.raises(SimulationError, match="already registered"):
             register_backend("reference", Engine)
 
-    def test_both_backends_satisfy_protocol(self, graph):
+    def test_all_backends_satisfy_protocol(self, graph):
         boundaries = chunk_boundaries(graph.in_degrees(), 4)
-        for name in ("reference", "vectorized"):
+        for name in ("reference", "vectorized", "parallel"):
             trace = WorkTrace(algorithm="x", graph_name="g", num_partitions=4)
             eng = make_engine_backend(graph, boundaries, trace, backend=name)
             assert isinstance(eng, EngineBackend)
-            assert isinstance(eng, Engine)  # vectorized subclasses the oracle
+            assert isinstance(eng, Engine)  # fast backends subclass the oracle
 
     def test_make_engine_threads_backend(self, graph, monkeypatch):
         assert isinstance(
@@ -81,6 +85,15 @@ class TestSelection:
         assert type(make_engine(graph, 4, "PR", backend="reference")) is Engine
         monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
         assert isinstance(make_engine(graph, 4, "PR"), VectorizedEngine)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "parallel")
+        assert isinstance(make_engine(graph, 4, "PR"), ParallelEngine)
+
+    def test_registry_construction_reads_worker_env(self, graph, monkeypatch):
+        """The uniform (graph, boundaries, trace, exact_sources) construction
+        path must still pick up REPRO_PARALLEL_WORKERS."""
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        eng = make_engine(graph, 4, "PR", backend="parallel")
+        assert eng._workers == 5
 
 
 class TestReduceDtypeContract:
@@ -112,7 +125,7 @@ class TestReduceDtypeContract:
         Engine._reduce_at("or", acc, np.array([0, 0]), np.array([0.0, 1.0], dtype=np.float32))
         assert acc[0] == 1.0 and acc.dtype == np.float64
 
-    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "parallel"])
     def test_float32_gather_edgemap_matches_float64_math(self, graph, backend):
         """End to end: a float32 gather produces the float64-accumulated
         sums on both backends (previously uncovered: the silent upcast was

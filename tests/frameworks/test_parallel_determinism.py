@@ -1,0 +1,360 @@
+"""Determinism suite for the ``parallel`` backend.
+
+The conformance suite proves the parallel backend matches the reference
+oracle; this suite pins the stronger operational property the backend
+advertises: **the worker count is not observable**.  Running the same
+step sequence with 1, 2, 4 or 8 chunk workers — or running it twenty
+times in a row at the same worker count — must produce *byte-identical*
+state arrays, frontiers and trace accounting, bit for bit, even when the
+values flowing through the reduction kernels are hostile floats (NaN,
+signed zeros, cancellation-prone magnitudes, overflow-to-inf sums).
+
+Byte identity is checked through digests of the raw array bytes (dtype
+tagged), not ``np.allclose`` — a single flipped sign bit on a zero, or a
+NaN payload swap, fails the test.
+
+The suite also pins the scheduling-visible unit behavior that bit-level
+runs can't: the per-chunk wall-clock measurements land in the trace's
+``meta`` side channel without entering trace identity, the band plan
+tears no Algorithm-1 accounting chunk, and an inconsistent vertexmap
+filter (mask from one chunk, ``None`` from another) is rejected rather
+than silently mangled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ALGORITHMS
+from repro.errors import SimulationError
+from repro.frameworks.engine import EdgeOp, Engine
+from repro.frameworks.frontier import Frontier
+from repro.frameworks.parallel import (
+    MIN_WORK_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ParallelEngine,
+    resolve_min_work,
+    resolve_workers,
+)
+from repro.frameworks.trace import WorkTrace, record_fingerprint, traces_equal
+from repro.graph import generators as gen
+from repro.graph.csr import Graph
+from repro.partition.algorithm1 import chunk_boundaries
+
+WORKER_COUNTS = [1, 2, 4, 8]
+
+# Hostile floats are the point: NaN through min/max kernels raises
+# RuntimeWarning inside pool threads, where a test-local np.errstate
+# (thread-local by design) cannot reach.
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+# ----------------------------------------------------------------------
+# digests: byte identity, not numeric closeness
+# ----------------------------------------------------------------------
+
+def _update_array(h, a: np.ndarray) -> None:
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(np.ascontiguousarray(a).tobytes())
+
+
+def state_digest(state: dict) -> str:
+    h = hashlib.sha256()
+    for k in sorted(state):
+        v = state[k]
+        if not isinstance(v, np.ndarray):
+            continue  # algorithm-private memo entries (e.g. BP's _tw cache)
+        h.update(k.encode())
+        _update_array(h, v)
+    return h.hexdigest()
+
+
+def frontier_digest(frontier: Frontier) -> str:
+    h = hashlib.sha256()
+    _update_array(h, frontier.mask)
+    _update_array(h, frontier.ids)
+    return h.hexdigest()
+
+
+def trace_digest(trace: WorkTrace) -> str:
+    h = hashlib.sha256()
+    for rec in trace.records:
+        h.update(record_fingerprint(rec))
+    return h.hexdigest()
+
+
+def result_digest(result) -> str:
+    h = hashlib.sha256()
+    h.update(str(result.iterations).encode())
+    for k in sorted(result.values):
+        h.update(k.encode())
+        _update_array(h, result.values[k])
+    h.update(trace_digest(result.trace).encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# hostile floats
+# ----------------------------------------------------------------------
+
+# Cancellation pairs (1e16 + -1e16), signed zeros, subnormals, values that
+# overflow to inf when summed, and NaN: any reassociation of the additions
+# or reordering of min/max scans shows up as a byte difference.
+HOSTILE_VALUES = [
+    np.nan, 0.0, -0.0, 1.0, -1.0, 1e-308, -1e-308, 1e308, -1e308,
+    1e16, -1e16, 1.0 + 2**-52, 0.1, 7.5,
+]
+
+_hostile = st.sampled_from(HOSTILE_VALUES)
+
+
+@st.composite
+def hostile_case(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    m = draw(st.integers(min_value=1, max_value=240))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    graph = Graph.from_edges(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m), n, name="det"
+    )
+    p = draw(st.integers(min_value=1, max_value=min(12, n)))
+    reduce = draw(st.sampled_from(["add", "min", "or"]))
+    identity = {"add": 0.0, "min": np.inf, "or": -np.inf}[reduce]
+    if draw(st.booleans()):
+        identity = draw(_hostile)  # non-standard: the fallback kernel
+    direction = draw(st.sampled_from(["push", "pull"]))
+    values = rng.choice(draw(st.lists(_hostile, min_size=2, max_size=8)), size=n)
+    return graph, p, reduce, identity, direction, values
+
+
+def _run_dense_edgemap(build_engine, graph, p, reduce, identity, values, direction):
+    """One dense edgemap + one dense filtering vertexmap; returns digests."""
+    n = graph.num_vertices
+
+    def gather(srcs, dsts, st_):
+        return st_["vals"][srcs]
+
+    def apply(touched, reduced, st_):
+        st_["seen"][touched] = reduced
+        return np.ones(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce=reduce, apply=apply, identity=identity)
+    boundaries = chunk_boundaries(graph.in_degrees(), p)
+    trace = WorkTrace(algorithm="det", graph_name="det", num_partitions=p)
+    eng = build_engine(graph, boundaries, trace)
+    state = {"vals": values.copy(), "seen": np.zeros(n)}
+    with np.errstate(all="ignore"):  # hostile sums overflow / spawn NaN
+        out = eng.edgemap(Frontier.all_vertices(n), op, state, direction=direction)
+
+        def fn(ids, st_):
+            return np.isfinite(st_["seen"][ids])
+
+        out2 = eng.vertexmap(Frontier.all_vertices(n), fn, state)
+    return (
+        state_digest(state),
+        frontier_digest(out),
+        frontier_digest(out2),
+        trace_digest(trace),
+    )
+
+
+@given(case=hostile_case())
+@settings(max_examples=80, deadline=None)
+def test_worker_count_is_unobservable(case):
+    """Reference, then parallel at 1/2/4/8 workers: all five runs produce
+    byte-identical state, frontiers and trace accounting."""
+    graph, p, reduce, identity, direction, values = case
+    digests = [
+        _run_dense_edgemap(Engine, graph, p, reduce, identity, values, direction)
+    ]
+    for w in WORKER_COUNTS:
+        digests.append(
+            _run_dense_edgemap(
+                lambda g, b, t, w=w: ParallelEngine(g, b, t, workers=w, min_work=0),
+                graph, p, reduce, identity, values, direction,
+            )
+        )
+    assert len(set(digests)) == 1, digests
+
+
+@pytest.mark.parametrize("algo", ["PR", "BP", "CC", "SPMV", "PRD"])
+def test_algorithm_worker_count_invariance(monkeypatch, algo):
+    """Whole algorithms through the registry + env knob: every worker
+    count digests identically to the reference backend."""
+    graph = gen.zipf_powerlaw_graph(400, s=1.1, max_degree=50, seed=21, name="det-pl")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
+    kwargs: dict = {"num_partitions": 16}
+    if algo in ("PR", "BP"):
+        kwargs["num_iterations"] = 3
+    ref = result_digest(ALGORITHMS[algo](graph, backend="reference", **kwargs))
+    for w in WORKER_COUNTS:
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(w))
+        got = result_digest(ALGORITHMS[algo](graph, backend="parallel", **kwargs))
+        assert got == ref, (algo, w)
+
+
+def test_repeated_runs_never_flake():
+    """>= 20 identical runs at 4 workers: thread scheduling varies freely
+    between runs, the digests must not."""
+    graph = gen.zipf_powerlaw_graph(300, s=1.05, max_degree=40, seed=33, name="flake")
+    rng = np.random.default_rng(1)
+    values = rng.choice(np.array(HOSTILE_VALUES), size=graph.num_vertices)
+    digests = set()
+    for rep in range(20):
+        for direction in ("push", "pull"):
+            digests.add(
+                (
+                    direction,
+                    _run_dense_edgemap(
+                        lambda g, b, t: ParallelEngine(g, b, t, workers=4, min_work=0),
+                        graph, 24, "add", 0.0, values, direction,
+                    ),
+                )
+            )
+    assert len(digests) == 2, "a repeated run produced different bytes"
+
+
+# ----------------------------------------------------------------------
+# unit behavior: knobs, band plan, meta channel, vertexmap contract
+# ----------------------------------------------------------------------
+
+def _make_parallel(graph, p=16, **kw):
+    boundaries = chunk_boundaries(graph.in_degrees(), p)
+    trace = WorkTrace(algorithm="unit", graph_name=graph.name, num_partitions=p)
+    return ParallelEngine(graph, boundaries, trace, **kw), trace
+
+
+@pytest.fixture(scope="module")
+def unit_graph():
+    return gen.zipf_powerlaw_graph(250, s=1.1, max_degree=30, seed=8, name="unit")
+
+
+def test_knob_resolution(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+    monkeypatch.delenv(MIN_WORK_ENV_VAR, raising=False)
+    assert resolve_workers(3) == 3
+    assert resolve_workers() >= 1
+    assert resolve_min_work(17) == 17
+    assert resolve_min_work(-5) == 0
+    monkeypatch.setenv(WORKERS_ENV_VAR, "6")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "123")
+    assert resolve_workers() == 6
+    assert resolve_min_work() == 123
+    assert resolve_workers(2) == 2  # explicit argument wins over env
+    monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+    with pytest.raises(SimulationError):
+        resolve_workers()
+    monkeypatch.setenv(WORKERS_ENV_VAR, "nope")
+    with pytest.raises(SimulationError):
+        resolve_workers()
+
+
+def test_band_plan_respects_partition_boundaries(unit_graph):
+    eng, _ = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+    pts = eng._band_plan(4)
+    bounds = set(int(b) for b in eng.boundaries)
+    assert int(pts[0]) == 0 and int(pts[-1]) == unit_graph.num_vertices
+    assert all(int(x) in bounds for x in pts)
+    assert np.all(np.diff(pts) > 0)
+    assert pts.size - 1 <= 4
+    # Cached: same object on the second ask, per-count plans distinct.
+    assert eng._band_plan(4) is pts
+    assert eng._band_plan(2) is not pts
+
+
+def test_chunk_timings_meta_channel(unit_graph):
+    """Parallel steps record per-chunk wall-clock into trace.meta; the
+    bands tile the vertex space, the edge counts sum to m — and none of
+    it enters trace identity."""
+    n = unit_graph.num_vertices
+    eng, trace = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+
+    def gather(srcs, dsts, st_):
+        return st_["x"][srcs]
+
+    def apply(touched, reduced, st_):
+        return np.zeros(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+    state = {"x": np.ones(n)}
+    eng.edgemap(Frontier.all_vertices(n), op, state, direction="pull")
+    eng.vertexmap(Frontier.all_vertices(n), lambda ids, st_: None, state)
+
+    chunks = trace.meta["parallel_chunks"]
+    assert [c["kind"] for c in chunks] == ["edgemap", "vertexmap"]
+    for c in chunks:
+        assert c["workers"] == 4
+        spans = [tuple(b["vertices"]) for b in c["bands"]]
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+        assert all(b["seconds"] >= 0.0 for b in c["bands"])
+    assert sum(b["edges"] for b in chunks[0]["bands"]) == unit_graph.num_edges
+
+    # meta is measurement, not accounting: a sequential run whose records
+    # match is still an equal trace.
+    ref_trace = WorkTrace(algorithm="unit", graph_name=unit_graph.name, num_partitions=16)
+    ref = Engine(unit_graph, eng.boundaries, ref_trace)
+    state2 = {"x": np.ones(n)}
+    ref.edgemap(Frontier.all_vertices(n), op, state2, direction="pull")
+    ref.vertexmap(Frontier.all_vertices(n), lambda ids, st_: None, state2)
+    assert not ref_trace.meta
+    assert traces_equal(trace, ref_trace)
+
+
+def test_vertexmap_filter_and_none(unit_graph):
+    """The banded dense vertexmap keeps filter semantics: a mask filters,
+    all-None passes the frontier through unchanged."""
+    n = unit_graph.num_vertices
+    eng, _ = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+    state = {"x": np.arange(n, dtype=np.float64)}
+    dense = Frontier.all_vertices(n)
+    out = eng.vertexmap(dense, lambda ids, st_: st_["x"][ids] % 2 == 0, state)
+    assert np.array_equal(out.ids, np.arange(0, n, 2))
+    assert eng.vertexmap(dense, lambda ids, st_: None, state) is dense
+
+
+def test_vertexmap_inconsistent_filter_rejected(unit_graph):
+    """A vertex function returning a mask for one chunk and None for
+    another is a contract violation, not a silent truncation."""
+    n = unit_graph.num_vertices
+    eng, _ = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+
+    def fickle(ids, st_):
+        return None if int(ids[0]) == 0 else np.ones(ids.size, dtype=bool)
+
+    with pytest.raises(SimulationError, match="consistent across chunks"):
+        eng.vertexmap(Frontier.all_vertices(n), fickle, {})
+
+
+def test_sequential_fallbacks_take_inherited_path(unit_graph):
+    """workers=1, tiny min_work thresholds and sparse frontiers must all
+    take the vectorized path: no meta entries, identical results."""
+    n = unit_graph.num_vertices
+
+    def gather(srcs, dsts, st_):
+        return st_["x"][srcs]
+
+    def apply(touched, reduced, st_):
+        st_["out"][touched] = reduced
+        return np.ones(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+
+    for kw in ({"workers": 1, "min_work": 0},
+               {"workers": 4, "min_work": unit_graph.num_edges + 1}):
+        eng, trace = _make_parallel(unit_graph, p=16, **kw)
+        state = {"x": np.ones(n), "out": np.zeros(n)}
+        eng.edgemap(Frontier.all_vertices(n), op, state, direction="pull")
+        eng.vertexmap(Frontier.all_vertices(n), lambda ids, st_: None, state)
+        assert "parallel_chunks" not in trace.meta
+
+    # Sparse frontiers never fan out even with aggressive knobs.
+    eng, trace = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+    state = {"x": np.ones(n), "out": np.zeros(n)}
+    eng.edgemap(Frontier.from_ids(np.array([0, 1]), n), op, state, direction="push")
+    assert "parallel_chunks" not in trace.meta
