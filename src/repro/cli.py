@@ -216,10 +216,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     machines = sub.add_parser(
         "machines",
-        help="list the registered machine models sweeps can (re)price on",
+        help="machine personalities: registry, calibration, JSON files",
     )
     msub = machines.add_subparsers(dest="machines_command", required=True)
-    msub.add_parser("list", help="show the machine-model registry")
+    mlist = msub.add_parser(
+        "list", help="show the machine-model registry (built-in + user files)"
+    )
+    _add_cache_flags(mlist)
+
+    mcal = msub.add_parser(
+        "calibrate",
+        help="fit cost-model knobs (time scale, miss penalty, remote "
+        "factor) from the measurement store's recorded chunk timings",
+    )
+    mcal.add_argument(
+        "--name", default="calibrated", metavar="NAME",
+        help="name of the fitted machine personality (default: calibrated)",
+    )
+    mcal.add_argument(
+        "--description", default="", metavar="TEXT",
+        help="description of the fitted personality (default: generated)",
+    )
+    mcal.add_argument(
+        "--save", default=None, metavar="FILE",
+        help="also write the fitted machine as a JSON personality file",
+    )
+    mcal.add_argument(
+        "--add", action="store_true",
+        help="also install the fitted machine into the user machines "
+        "directory (<cache root>/machines/), so later invocations can "
+        "price on it by name",
+    )
+    _add_cache_flags(mcal)
+
+    madd = msub.add_parser(
+        "add",
+        help="install a machine JSON file into the user machines "
+        "directory; later invocations register it automatically",
+    )
+    madd.add_argument("file", help="machine personality JSON file")
+    _add_cache_flags(madd)
+
+    msave = msub.add_parser(
+        "save", help="write a registered machine to a JSON personality file"
+    )
+    msave.add_argument("machine", help="registered machine name")
+    msave.add_argument("file", help="output JSON file")
+    _add_cache_flags(msave)
+
+    mload = msub.add_parser(
+        "load", help="validate a machine JSON file and show its knobs"
+    )
+    mload.add_argument("file", help="machine personality JSON file")
+    _add_cache_flags(mload)
 
     sweep = sub.add_parser(
         "sweep",
@@ -561,6 +610,7 @@ def _cmd_sweep_run(args) -> int:
     from repro.experiments import ResultsStore, run_cells
 
     cache = _resolve_cli_cache(args)
+    _register_user_machines(cache)
     out = _resolve_sweep_out(args, cache)
     store = ResultsStore(out)
     existing = len(store)
@@ -634,6 +684,7 @@ def _cmd_sweep_reprice(args) -> int:
             file=sys.stderr,
         )
         return 1
+    _register_user_machines(cache)
     out = _resolve_sweep_out(args, cache)
     store = ResultsStore(out)
     machines = _machines_from_args(args, default=available_machines())
@@ -673,19 +724,140 @@ def _cmd_sweep_reprice(args) -> int:
     return 0
 
 
-def _cmd_machines_list(args) -> int:
-    from repro.machine.models import DEFAULT_MACHINE, MACHINES
+def _register_user_machines(cache) -> int:
+    """Register the personalities under <cache root>/machines/; returns
+    how many were newly registered (0 when the cache is disabled)."""
+    from repro.machine.models import load_user_machines
 
-    print(f"{'name':<12} {'sockets':>7} {'thr/skt':>7} {'threads':>7} "
+    if cache is None:
+        return 0
+    return len(load_user_machines(cache.root))
+
+
+def _cmd_machines_list(args) -> int:
+    from repro.machine.models import BUILTIN_MACHINES, DEFAULT_MACHINE, MACHINES
+
+    _register_user_machines(_resolve_cli_cache(args))
+    print(f"{'name':<14} {'sockets':>7} {'thr/skt':>7} {'threads':>7} "
           f"{'miss pen':>8} {'remote':>6} {'scale':>5}  description")
     for name, m in MACHINES.items():
-        tag = f"{name}*" if name == DEFAULT_MACHINE else name
+        tag = name
+        if name == DEFAULT_MACHINE:
+            tag += "*"
+        elif name not in BUILTIN_MACHINES:
+            tag += "+"
         print(
-            f"{tag:<12} {m.num_sockets:>7} {m.threads_per_socket:>7} "
+            f"{tag:<14} {m.num_sockets:>7} {m.threads_per_socket:>7} "
             f"{m.num_threads:>7} {m.miss_penalty:>8.1f} {m.remote_factor:>6.1f} "
             f"{m.time_scale:>5.2f}  {m.description}"
         )
-    print("(* default: derives the paper-calibrated coefficients bit for bit)")
+    print("(* default: derives the paper-calibrated coefficients bit for bit; "
+          "+ user machine file)")
+    return 0
+
+
+def _cmd_machines_calibrate(args) -> int:
+    from repro.machine.calibrate import CalibrationSample, fit_machine
+    from repro.machine.models import MACHINES, save_machine, user_machines_dir
+    from repro.metrics import calibration_report
+    from repro.store.measurements import MeasurementStore
+
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print(
+            "error: `machines calibrate` reads the measurement store, which "
+            "lives in the artifact cache; it cannot run with caching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    _register_user_machines(cache)
+    mstore = MeasurementStore.in_cache(cache)
+    records = mstore.samples()
+    if not records:
+        print(
+            f"error: measurement store at {mstore.path} holds 0 sample(s); "
+            "per-chunk timings are recorded only by the parallel engine "
+            "backend during trace-store-enabled runs — run e.g. "
+            "`traces build --backend parallel` or `sweep run --backend "
+            "parallel` with REPRO_PARALLEL_WORKERS >= 2 (and "
+            "REPRO_PARALLEL_MIN_WORK low enough for your graph sizes), "
+            "then calibrate again",
+            file=sys.stderr,
+        )
+        return 1
+    if args.add and args.name in MACHINES:
+        print(
+            f"error: machine {args.name!r} is already registered; pick a "
+            "different --name to --add the fitted personality",
+            file=sys.stderr,
+        )
+        return 1
+    samples = [CalibrationSample.from_record(r) for r in records]
+    result = fit_machine(
+        samples, name=args.name, description=args.description
+    )
+    print(calibration_report(result))
+    if args.save:
+        path = save_machine(result.machine, args.save)
+        print(f"saved: {path}")
+    if args.add:
+        path = save_machine(
+            result.machine,
+            user_machines_dir(cache.root) / f"{result.machine.name}.json",
+        )
+        print(f"installed: {path} (auto-registered by later invocations)")
+    return 0
+
+
+def _cmd_machines_add(args) -> int:
+    from repro.machine.models import (
+        MACHINES, load_machine, save_machine, user_machines_dir,
+    )
+
+    cache = _resolve_cli_cache(args)
+    if cache is None:
+        print(
+            "error: the user machines directory lives in the artifact "
+            "cache; `machines add` cannot run with caching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    _register_user_machines(cache)
+    model = load_machine(args.file)
+    existing = MACHINES.get(model.name)
+    if existing is not None and existing != model:
+        print(
+            f"error: machine {model.name!r} is already registered with "
+            "different parameters; rename the machine in the file",
+            file=sys.stderr,
+        )
+        return 1
+    path = save_machine(model, user_machines_dir(cache.root) / f"{model.name}.json")
+    print(f"installed: {model.name!r} -> {path}")
+    return 0
+
+
+def _cmd_machines_save(args) -> int:
+    from repro.machine.models import get_machine, save_machine
+
+    _register_user_machines(_resolve_cli_cache(args))
+    path = save_machine(get_machine(args.machine), args.file)
+    print(f"saved: {args.machine!r} -> {path}")
+    return 0
+
+
+def _cmd_machines_load(args) -> int:
+    from repro.machine.models import load_machine
+
+    m = load_machine(args.file)
+    print(
+        f"{m.name}: {m.num_sockets} socket(s) x {m.threads_per_socket} "
+        f"thread(s), miss_penalty={m.miss_penalty:.4g}, "
+        f"remote_factor={m.remote_factor:.4g}, time_scale={m.time_scale:.4g}"
+    )
+    if m.description:
+        print(f"  {m.description}")
+    print("(valid personality file; `machines add` installs it permanently)")
     return 0
 
 
@@ -894,7 +1066,14 @@ def main(argv: list[str] | None = None) -> int:
             }[args.sweep_command]
             return handler(args)
         if args.command == "machines":
-            return _cmd_machines_list(args)
+            handler = {
+                "list": _cmd_machines_list,
+                "calibrate": _cmd_machines_calibrate,
+                "add": _cmd_machines_add,
+                "save": _cmd_machines_save,
+                "load": _cmd_machines_load,
+            }[args.machines_command]
+            return handler(args)
         if args.command == "traces":
             handler = {
                 "list": _cmd_traces_list,

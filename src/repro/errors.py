@@ -46,3 +46,8 @@ class TheoremPreconditionError(ReproError):
 
 class SimulationError(ReproError):
     """A machine-model simulation was configured inconsistently."""
+
+
+class CalibrationError(SimulationError):
+    """Machine-model calibration cannot proceed (no measurement samples,
+    a degenerate fit, or a malformed machine personality file)."""

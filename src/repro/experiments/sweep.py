@@ -313,6 +313,22 @@ _WORKER_GRAPHS: dict = {}
 _WORKER_PREPARED: dict = {}
 
 
+def _register_cache_machines(cache) -> None:
+    """Register user machine personalities from ``cache`` in this process.
+
+    Pool workers re-import every module fresh, so machines installed via
+    ``machines add`` (JSON files under the cache's ``machines/`` dir) do
+    not exist in the worker's registry until re-loaded; a cell pricing
+    under one would otherwise fail name resolution.  Idempotent and cheap
+    (one directory glob), so workers call it per task."""
+    from repro.machine.models import load_user_machines
+    from repro.store import resolve_cache
+
+    resolved = resolve_cache(cache)
+    if resolved is not None:
+        load_user_machines(resolved.root)
+
+
 def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
     """Pool entry point (``dedup=False``): compute one cell, return its
     serialized result.
@@ -324,6 +340,7 @@ def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
     from repro.store import ArtifactCache
 
     cache = ArtifactCache(cache_root) if cache_root is not None else False
+    _register_cache_machines(cache)
     result = _compute_cell(cell, cache, _WORKER_GRAPHS, _WORKER_PREPARED)
     return result.to_dict()
 
@@ -338,6 +355,7 @@ def _worker_run_group(
     from repro.store import ArtifactCache
 
     cache = ArtifactCache(cache_root) if cache_root is not None else False
+    _register_cache_machines(cache)
     results, replayed = _compute_group(
         group, cache, _WORKER_GRAPHS, _WORKER_PREPARED, replay_only=replay_only
     )

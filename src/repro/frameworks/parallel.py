@@ -78,15 +78,21 @@ Knobs (read once, at engine construction):
 
 Every parallel step appends its per-chunk wall-clock measurements to the
 trace's ``meta`` side channel (``trace.meta["parallel_chunks"]``): one
-entry per step with the band vertex ranges, edge counts and seconds.
-That is deliberately *measurement*, not accounting — it never enters
-record fingerprints or trace equality — and it is the calibration data a
-future ``machines calibrate`` needs to fit per-thread cost-model
-coefficients against real executions.
+entry per step with the band vertex ranges, edge counts, seconds, the
+*effective* band count (``workers`` — the plan can collapse below the
+knob on hub-heavy graphs) and the configured knob
+(``workers_configured``).  That is deliberately *measurement*, not
+accounting — it never enters record fingerprints, trace equality, or the
+persisted trace bundle.  :func:`repro.experiments.runner.execute` drains
+the channel into the persistent measurement store
+(:mod:`repro.store.measurements`) at record time, which is where
+``machines calibrate`` fits cost-model coefficients from
+(:mod:`repro.machine.calibrate`).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
@@ -108,6 +114,7 @@ __all__ = [
     "default_workers",
     "resolve_min_work",
     "resolve_workers",
+    "shutdown_pools",
 ]
 
 #: Environment variable holding the process-wide chunk-worker count.
@@ -183,6 +190,28 @@ def _get_pool(workers: int) -> ThreadPoolExecutor:
     return pool
 
 
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down every shared chunk-worker pool and forget it.
+
+    Pools are otherwise created per distinct worker count and kept for
+    the process lifetime — idle threads a long-running host (a pricing
+    service, a test harness cycling worker counts) should be able to
+    reclaim.  Safe to call at any time: engines re-create pools lazily on
+    the next dense step, and an in-flight step keeps its own pool
+    reference (``shutdown`` lets queued work finish when ``wait`` is
+    true).  Also registered via :mod:`atexit` so interpreter shutdown
+    never waits on leaked idle threads.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_pools)
+
+
 class ParallelEngine(VectorizedEngine):
     """Drop-in engine backend executing dense steps across chunk workers.
 
@@ -242,13 +271,23 @@ class ParallelEngine(VectorizedEngine):
     ) -> None:
         """Append one step's per-chunk wall-clock to the trace meta
         channel — measurement for machine-model calibration, never part
-        of trace identity."""
+        of trace identity.
+
+        ``workers`` is the **effective** concurrency — the number of
+        bands the step actually ran as, which ``_band_plan``'s
+        ``np.unique`` can collapse below the configured knob when several
+        edge-balanced split targets land on the same partition boundary
+        (hub-heavy graphs).  The configured knob rides along separately
+        as ``workers_configured``; calibration must never mistake one
+        for the other.
+        """
         self.trace.meta.setdefault("parallel_chunks", []).append(
             {
                 "step": len(self.trace.records) - 1,
                 "kind": kind,
                 "direction": direction,
-                "workers": self._workers,
+                "workers": len(bands),
+                "workers_configured": self._workers,
                 "bands": [
                     {
                         "vertices": [int(lo), int(hi)],

@@ -26,24 +26,40 @@ many machine-scenario studies: a warm trace store prices the full
 :data:`DEFAULT_MACHINE` (``paper-xeon``) reproduces the pre-machine-layer
 coefficients bit for bit, so pricing under the default machine is
 byte-identical to pricing with no machine at all.
+
+User-defined machines travel as small JSON personality files
+(:func:`save_machine` / :func:`load_machine` — a lossless round trip:
+floats survive bit-identically through JSON's shortest-exact rendering),
+and a ``machines`` directory under the artifact-cache root
+(:func:`load_user_machines`) lets ``vebo-reorder machines add`` install a
+file once and have every later invocation register it automatically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
 
-from repro.errors import SimulationError
+from repro.errors import CalibrationError, SimulationError
 from repro.machine.cost import CostModel, DEFAULT_COST_MODEL
 from repro.machine.numa import NUMATopology, PAPER_MACHINE
 
 __all__ = [
+    "BUILTIN_MACHINES",
     "DEFAULT_MACHINE",
     "MACHINES",
     "MachineModel",
     "available_machines",
     "get_machine",
+    "load_machine",
+    "load_user_machines",
+    "machine_from_dict",
+    "machine_to_dict",
     "register_machine",
     "resolve_machine",
+    "save_machine",
+    "user_machines_dir",
 ]
 
 
@@ -198,3 +214,125 @@ register_machine(MachineModel(
     remote_factor=2.5,
     time_scale=0.9,
 ))
+
+#: The built-in personalities above; user machines loaded from disk are
+#: registered on top and can be told apart (``machines list`` marks them).
+BUILTIN_MACHINES = frozenset(MACHINES)
+
+
+# ----------------------------------------------------------------------
+# JSON personality files: save/load/add for user-defined machines
+# ----------------------------------------------------------------------
+
+_MACHINE_FIELDS = tuple(f.name for f in fields(MachineModel))
+
+
+def machine_to_dict(model: MachineModel) -> dict:
+    """Plain-JSON encoding of a machine (exactly the dataclass fields)."""
+    return {
+        "name": model.name,
+        "description": model.description,
+        "num_sockets": int(model.num_sockets),
+        "threads_per_socket": int(model.threads_per_socket),
+        "miss_penalty": float(model.miss_penalty),
+        "remote_factor": float(model.remote_factor),
+        "time_scale": float(model.time_scale),
+    }
+
+
+def machine_from_dict(data: dict) -> MachineModel:
+    """Invert :func:`machine_to_dict`, strictly.
+
+    Unknown keys are rejected (a typoed knob silently keeping its default
+    is exactly the failure mode a personality file must not have), and
+    every value goes through :class:`MachineModel`'s own validation.
+    """
+    if not isinstance(data, dict):
+        raise CalibrationError(
+            f"machine personality must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(_MACHINE_FIELDS))
+    if unknown:
+        raise CalibrationError(
+            f"unknown machine personality field(s) {unknown}; "
+            f"allowed: {sorted(_MACHINE_FIELDS)}"
+        )
+    if "name" not in data:
+        raise CalibrationError("machine personality needs a 'name' field")
+    try:
+        kwargs = {
+            "name": str(data["name"]),
+            "description": str(data.get("description", "")),
+        }
+        for field_name in ("num_sockets", "threads_per_socket"):
+            if field_name in data:
+                kwargs[field_name] = int(data[field_name])
+        for field_name in ("miss_penalty", "remote_factor", "time_scale"):
+            if field_name in data:
+                kwargs[field_name] = float(data[field_name])
+        return MachineModel(**kwargs)
+    except CalibrationError:
+        raise
+    except (TypeError, ValueError, SimulationError) as exc:
+        # SimulationError covers MachineModel's own validation (empty
+        # name, non-positive topology, invalid knob ranges).
+        raise CalibrationError(f"malformed machine personality: {exc}") from exc
+
+
+def save_machine(model: MachineModel, path) -> Path:
+    """Write a machine as a JSON personality file.
+
+    The rendering is canonical (sorted keys, fixed indentation, trailing
+    newline) and floats use JSON's shortest-exact representation, so
+    ``save -> load -> save`` reproduces the file byte for byte.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(machine_to_dict(model), sort_keys=True, indent=2) + "\n"
+    path.write_text(blob, encoding="utf-8")
+    return path
+
+
+def load_machine(path) -> MachineModel:
+    """Read and validate a JSON personality file (no registration)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CalibrationError(f"cannot read machine file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CalibrationError(f"machine file {path} is not valid JSON: {exc}") from exc
+    return machine_from_dict(data)
+
+
+def user_machines_dir(cache_root) -> Path:
+    """The directory ``machines add`` installs personality files into."""
+    return Path(cache_root) / "machines"
+
+
+def load_user_machines(cache_root) -> list[MachineModel]:
+    """Register every ``*.json`` personality under the cache's machines
+    directory; returns the models newly registered.
+
+    Idempotent: a file whose machine is already registered with identical
+    parameters is skipped, so repeated CLI invocations (and multiple
+    calls within one process) are safe.  A *conflicting* name — a file
+    redefining a built-in, or two files disagreeing — raises, because
+    silently picking one would change what every priced number means.
+    """
+    folder = user_machines_dir(cache_root)
+    if not folder.is_dir():
+        return []
+    loaded: list[MachineModel] = []
+    for path in sorted(folder.glob("*.json")):
+        model = load_machine(path)
+        existing = MACHINES.get(model.name)
+        if existing is not None:
+            if existing == model:
+                continue
+            raise CalibrationError(
+                f"machine file {path} redefines {model.name!r} with "
+                "different parameters; rename the machine or remove the file"
+            )
+        loaded.append(register_machine(model))
+    return loaded

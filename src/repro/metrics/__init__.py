@@ -1,6 +1,7 @@
 """Reporting helpers: tables, speedups, geometric means."""
 
 from repro.metrics.tables import (
+    calibration_report,
     format_matrix,
     format_table,
     geometric_mean,
@@ -14,6 +15,7 @@ from repro.metrics.tables import (
 )
 
 __all__ = [
+    "calibration_report",
     "format_matrix",
     "format_table",
     "geometric_mean",

@@ -13,6 +13,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 __all__ = [
+    "calibration_report",
     "format_table",
     "geometric_mean",
     "speedups",
@@ -267,6 +268,31 @@ def render_report(
         else:
             lines.append(f"(no {baseline} vs {target} pairs in these results)")
     return "\n".join(lines) if lines else "(empty table)"
+
+
+def calibration_report(calibration) -> str:
+    """Render a :class:`~repro.machine.calibrate.CalibrationResult` as the
+    ``machines calibrate`` output: the fitted knobs, then one residual row
+    per (algorithm, graph) cell — predicted vs. measured seconds with the
+    relative error spelled out per cell, so a fit that nails PageRank but
+    misses BFS by 3x is visible instead of averaged away."""
+    m = calibration.machine
+    lines = [
+        f"calibration: machine {m.name!r} fitted from "
+        f"{calibration.num_samples} measured chunk timing(s)",
+        f"knobs: time_scale={m.time_scale:.4g}  "
+        f"miss_penalty={m.miss_penalty:.4g}  "
+        f"remote_factor={m.remote_factor:.4g}",
+        "",
+        format_table(
+            calibration.report_rows(),
+            ["algorithm", "graph", "samples",
+             "measured_s", "predicted_s", "rel_error"],
+        ),
+        "",
+        f"overall relative error: {calibration.overall_relative_error:.4f}",
+    ]
+    return "\n".join(lines)
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -46,6 +46,11 @@ from repro.store.registry import (
     register_file_dataset,
 )
 from repro.store import serialization as ser
+from repro.store.measurements import (
+    MEASUREMENT_VERSION,
+    MeasurementStore,
+    samples_from_trace,
+)
 from repro.store.traces import (
     TRACE_KEY_VERSION,
     StoredTrace,
@@ -61,6 +66,8 @@ __all__ = [
     "ArtifactCache",
     "DATASET_REGISTRY",
     "DatasetSpec",
+    "MEASUREMENT_VERSION",
+    "MeasurementStore",
     "StoredTrace",
     "TRACE_KEY_VERSION",
     "artifact_key",
@@ -80,6 +87,7 @@ __all__ = [
     "register_dataset",
     "register_file_dataset",
     "resolve_cache",
+    "samples_from_trace",
     "save_trace",
     "trace_key",
     "unpack_trace",

@@ -176,6 +176,12 @@ def pack_trace(
             else np.empty((0, p), dtype=np.int64)
         )
         arrays[name] = stacked
+    # ``trace.meta`` (the measurement side channel, e.g. the parallel
+    # backend's per-chunk wall-clock) is deliberately NOT serialized: a
+    # replayed trace must be bit-identical to a fresh one, and wall-clock
+    # never is.  Durable measurements flow through the measurement store
+    # (:mod:`repro.store.measurements`), which the runner writes at
+    # record time — before the meta channel is lost to this round trip.
     arrays["meta_json"] = np.array(
         json.dumps(
             {

@@ -288,7 +288,11 @@ def test_chunk_timings_meta_channel(unit_graph):
     chunks = trace.meta["parallel_chunks"]
     assert [c["kind"] for c in chunks] == ["edgemap", "vertexmap"]
     for c in chunks:
-        assert c["workers"] == 4
+        # "workers" is the *effective* band count (what actually ran
+        # concurrently); the configured knob rides under its own key.
+        assert c["workers"] == len(c["bands"])
+        assert 1 <= c["workers"] <= 4
+        assert c["workers_configured"] == 4
         spans = [tuple(b["vertices"]) for b in c["bands"]]
         assert spans[0][0] == 0 and spans[-1][1] == n
         assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
@@ -358,3 +362,68 @@ def test_sequential_fallbacks_take_inherited_path(unit_graph):
     state = {"x": np.ones(n), "out": np.zeros(n)}
     eng.edgemap(Frontier.from_ids(np.array([0, 1]), n), op, state, direction="push")
     assert "parallel_chunks" not in trace.meta
+
+
+def test_collapsed_band_plan_records_effective_workers():
+    """Regression: a hub-heavy graph collapses the band plan below the
+    configured worker count (np.unique folds ideal split points that land
+    on the same partition boundary).  The meta channel must record the
+    *effective* band count under "workers" — not the configured knob,
+    which rides separately as "workers_configured"."""
+    n = 200
+    src = np.array(list(range(1, n)) + list(range(1, 41)))
+    dst = np.array([0] * (n - 1) + list(range(2, 42)))
+    graph = Graph.from_edges(src, dst, n, name="hub")
+    boundaries = chunk_boundaries(graph.in_degrees(), 16)
+    trace = WorkTrace(algorithm="unit", graph_name="hub", num_partitions=16)
+    eng = ParallelEngine(graph, boundaries, trace, workers=8, min_work=0)
+    assert eng._band_plan(8).size - 1 < 8, "graph no longer collapses the plan"
+
+    def gather(srcs, dsts, st_):
+        return st_["x"][srcs]
+
+    def apply(touched, reduced, st_):
+        return np.ones(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+    eng.edgemap(Frontier.all_vertices(n), op, {"x": np.ones(n)}, direction="pull")
+
+    (chunk,) = trace.meta["parallel_chunks"]
+    assert chunk["workers"] == len(chunk["bands"])
+    assert chunk["workers"] < 8
+    assert chunk["workers_configured"] == 8
+
+
+def test_shutdown_pools_is_recoverable(unit_graph):
+    """Regression: module-level executors leaked past interpreter exit.
+    ``shutdown_pools()`` must drain every pool, and the engine must
+    lazily rebuild one on the next parallel step — shutdown is a flush,
+    not a poison pill."""
+    from repro.frameworks import parallel as par
+
+    n = unit_graph.num_vertices
+
+    def gather(srcs, dsts, st_):
+        return st_["x"][srcs]
+
+    def apply(touched, reduced, st_):
+        st_["out"][touched] = reduced
+        return np.ones(touched.size, dtype=bool)
+
+    op = EdgeOp(gather=gather, reduce="add", apply=apply, identity=0.0)
+
+    def run_once():
+        eng, _ = _make_parallel(unit_graph, p=16, workers=4, min_work=0)
+        state = {"x": np.ones(n), "out": np.zeros(n)}
+        eng.edgemap(Frontier.all_vertices(n), op, state, direction="pull")
+        return state_digest(state)
+
+    before = run_once()
+    assert par._POOLS, "parallel run should have populated the pool cache"
+    par.shutdown_pools()
+    assert not par._POOLS
+    # A drained pool must not break later runs: the engine re-creates one
+    # lazily, and the results stay byte-identical.
+    assert run_once() == before
+    assert par._POOLS
+    par.shutdown_pools()
