@@ -68,9 +68,18 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.errors import ReproError
+from repro.obs.logsetup import configure_logging, get_logger
 
 __all__ = ["main", "build_parser"]
+
+#: Diagnostic/progress output goes through this logger (INFO -> stdout,
+#: WARNING+ -> stderr; ``-q`` silences INFO, ``-v`` adds DEBUG), so it is
+#: uniformly filterable.  Primary *data* output — tables, listings,
+#: reports — stays on bare ``print``: it is the command's product, not
+#: commentary, and must survive ``-q``.
+_log = get_logger("cli")
 
 _CACHE_EPILOG = """\
 cache configuration:
@@ -122,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reorder graphs with VEBO and manage the dataset/artifact store.",
         epilog=_CACHE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "-v", "--verbose", dest="log_verbose", action="count", default=0,
+        help="enable debug diagnostics (before the subcommand)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", dest="log_quiet", action="store_true",
+        help="suppress informational output (before the subcommand)",
+    )
+    parser.add_argument(
+        "--obs", dest="obs_on", action="store_true",
+        help="enable observability for this invocation (equivalent to "
+        "REPRO_OBS=1): spans/events/metrics are appended to "
+        "<cache root>/obs/ for `obs report` and `obs export`",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -299,6 +322,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical across backends, only wall-clock differs",
     )
     srun.add_argument(
+        "--progress", action="store_true",
+        help="periodic progress heartbeat (cells done/total, executed vs "
+        "replayed, cells/sec, ETA) even when stderr is not a TTY",
+    )
+    srun.add_argument(
         "--no-dedup", action="store_true",
         help="disable trace-aware scheduling: execute every cell "
         "independently instead of once per (graph, ordering, algorithm) "
@@ -341,7 +369,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(sreport)
 
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability: summarize, export, validate or clear the "
+        "event log recorded under REPRO_OBS=1 / --obs",
+    )
+    osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    oreport = osub.add_parser(
+        "report",
+        help="summary tables: measured band load-imbalance per "
+        "(algorithm, graph, ordering), cache hit rates, dedup ratio, "
+        "slowest spans",
+    )
+    oreport.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest spans to show (default: 10)",
+    )
+    _add_obs_dir_flag(oreport)
+    _add_cache_flags(oreport)
+
+    oexport = osub.add_parser(
+        "export",
+        help="export the event log as a Chrome trace-event timeline "
+        "(open in Perfetto or about://tracing)",
+    )
+    oexport.add_argument(
+        "--chrome", required=True, metavar="FILE",
+        help="output path for the trace-event JSON",
+    )
+    _add_obs_dir_flag(oexport)
+    _add_cache_flags(oexport)
+
+    ovalidate = osub.add_parser(
+        "validate", help="check every event line against the schema"
+    )
+    _add_obs_dir_flag(ovalidate)
+    _add_cache_flags(ovalidate)
+
+    oclean = osub.add_parser("clean", help="delete recorded event files")
+    _add_obs_dir_flag(oclean)
+    _add_cache_flags(oclean)
+
     return parser
+
+
+def _add_obs_dir_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="event-log directory (default: REPRO_OBS_DIR, else "
+        "<cache root>/obs)",
+    )
 
 
 def _add_sweep_out_flag(parser: argparse.ArgumentParser) -> None:
@@ -437,7 +515,7 @@ def _cmd_reorder(args) -> int:
                     f"vertex {args.track} -> new id {int(result.perm[args.track])}"
                 )
             else:
-                print(f"vertex {args.track} out of range", file=sys.stderr)
+                _log.error(f"vertex {args.track} out of range")
                 return 2
     return 0
 
@@ -493,7 +571,7 @@ def _cmd_datasets_build(args) -> int:
                 name, cache=cache_arg, refresh=args.refresh, **params
             )
         except ReproError as exc:
-            print(f"{name}: ERROR: {exc}", file=sys.stderr)
+            _log.error(f"{name}: {exc}")
             status = 1
             continue
         graph_s = time.perf_counter() - t0
@@ -518,7 +596,7 @@ def _cmd_datasets_build(args) -> int:
                 graph, args.edge_order, cache=cache_arg, refresh=args.refresh
             )
             line += f"  edgeorder[{args.edge_order}] {time.perf_counter() - t2:.3f}s"
-        print(line)
+        _log.info(line)
     return status
 
 
@@ -615,24 +693,37 @@ def _cmd_sweep_run(args) -> int:
     store = ResultsStore(out)
     existing = len(store)
     if existing and not args.resume:
-        print(
-            f"error: results store {out} already holds {existing} cell(s); "
-            "pass --resume to skip completed cells, or choose a fresh --out",
-            file=sys.stderr,
+        _log.error(
+            f"results store {out} already holds {existing} cell(s); "
+            "pass --resume to skip completed cells, or choose a fresh --out"
         )
         return 1
     cells = _sweep_cells_from_args(args)
     total = len(cells)
-    print(f"sweep: {total} cell(s) -> {out}  (jobs={args.jobs})")
+    _log.info(f"sweep: {total} cell(s) -> {out}  (jobs={args.jobs})")
     if args.resume and existing:
-        print(f"resume: {existing} cell(s) already in the store")
+        _log.info(f"resume: {existing} cell(s) already in the store")
     counts = {"done": 0, "skipped": 0}
+
+    # Periodic heartbeat for long sweeps, built on the obs metrics
+    # registry (same counters `obs report` and flush_metrics see).  On by
+    # default only when stderr is a terminal — in pipes and CI logs the
+    # per-cell lines already tell the story — unless --progress insists.
+    heartbeat = None
+    if args.progress or sys.stderr.isatty():
+        heartbeat = obs.ProgressHeartbeat(
+            total, emit=lambda line: print(line, file=sys.stderr, flush=True)
+        )
 
     def progress(cell, result, skipped):
         counts["skipped" if skipped else "done"] += 1
         tag = "cached" if skipped else f"{result.seconds:.4g}s"
         n = counts["done"] + counts["skipped"]
-        print(f"[{n}/{total}] {cell.label()}: {tag}")
+        _log.info(f"[{n}/{total}] {cell.label()}: {tag}")
+        if heartbeat is not None:
+            # No status kwargs: run_cells maintains the executed/
+            # replayed/resumed counters the heartbeat renders from.
+            heartbeat.tick()
 
     t0 = time.perf_counter()
     stats: dict = {}
@@ -646,14 +737,16 @@ def _cmd_sweep_run(args) -> int:
         progress=progress,
         stats=stats,
     )
-    print(
+    if heartbeat is not None and total:
+        print(heartbeat.render(), file=sys.stderr, flush=True)
+    _log.info(
         f"sweep complete: {counts['done']} computed, {counts['skipped']} "
         f"resumed from store, {time.perf_counter() - t0:.3f}s"
     )
     if stats.get("groups") and not args.no_dedup:
         # --no-dedup never consults or writes the trace store, so the
         # hit/miss fragment would be misleading there.
-        print(
+        _log.info(
             f"dedup: {stats['computed']} cell(s) priced from "
             f"{stats['groups']} execution group(s) "
             f"({stats['computed'] / stats['groups']:.1f} cells/execution); "
@@ -678,10 +771,9 @@ def _cmd_sweep_reprice(args) -> int:
 
     cache = _resolve_cli_cache(args)
     if cache is None:
-        print(
-            "error: `sweep reprice` replays the trace store, which lives in "
-            "the artifact cache; it cannot run with caching disabled",
-            file=sys.stderr,
+        _log.error(
+            "`sweep reprice` replays the trace store, which lives in "
+            "the artifact cache; it cannot run with caching disabled"
         )
         return 1
     _register_user_machines(cache)
@@ -690,7 +782,7 @@ def _cmd_sweep_reprice(args) -> int:
     machines = _machines_from_args(args, default=available_machines())
     cells = _sweep_cells_from_args(args, default_machines=machines)
     total = len(cells)
-    print(
+    _log.info(
         f"reprice: {total} cell(s) across {len(machines)} machine model(s) "
         f"({', '.join(machines)}) -> {out}  (jobs={args.jobs})"
     )
@@ -700,7 +792,7 @@ def _cmd_sweep_reprice(args) -> int:
         counts["skipped" if skipped else "done"] += 1
         tag = "cached" if skipped else f"{result.seconds:.4g}s"
         n = counts["done"] + counts["skipped"]
-        print(f"[{n}/{total}] {cell.label()}: {tag}")
+        _log.info(f"[{n}/{total}] {cell.label()}: {tag}")
 
     t0 = time.perf_counter()
     stats: dict = {}
@@ -715,7 +807,7 @@ def _cmd_sweep_reprice(args) -> int:
         progress=progress,
         stats=stats,
     )
-    print(
+    _log.info(
         f"reprice complete: {counts['done']} cell(s) priced from "
         f"{stats['replayed']} stored trace(s), {counts['skipped']} already "
         f"in the store, {stats['executed']} executed fresh, "
@@ -764,32 +856,29 @@ def _cmd_machines_calibrate(args) -> int:
 
     cache = _resolve_cli_cache(args)
     if cache is None:
-        print(
-            "error: `machines calibrate` reads the measurement store, which "
-            "lives in the artifact cache; it cannot run with caching disabled",
-            file=sys.stderr,
+        _log.error(
+            "`machines calibrate` reads the measurement store, which "
+            "lives in the artifact cache; it cannot run with caching disabled"
         )
         return 1
     _register_user_machines(cache)
     mstore = MeasurementStore.in_cache(cache)
     records = mstore.samples()
     if not records:
-        print(
-            f"error: measurement store at {mstore.path} holds 0 sample(s); "
+        _log.error(
+            f"measurement store at {mstore.path} holds 0 sample(s); "
             "per-chunk timings are recorded only by the parallel engine "
             "backend during trace-store-enabled runs — run e.g. "
             "`traces build --backend parallel` or `sweep run --backend "
             "parallel` with REPRO_PARALLEL_WORKERS >= 2 (and "
             "REPRO_PARALLEL_MIN_WORK low enough for your graph sizes), "
-            "then calibrate again",
-            file=sys.stderr,
+            "then calibrate again"
         )
         return 1
     if args.add and args.name in MACHINES:
-        print(
-            f"error: machine {args.name!r} is already registered; pick a "
-            "different --name to --add the fitted personality",
-            file=sys.stderr,
+        _log.error(
+            f"machine {args.name!r} is already registered; pick a "
+            "different --name to --add the fitted personality"
         )
         return 1
     samples = [CalibrationSample.from_record(r) for r in records]
@@ -799,13 +888,13 @@ def _cmd_machines_calibrate(args) -> int:
     print(calibration_report(result))
     if args.save:
         path = save_machine(result.machine, args.save)
-        print(f"saved: {path}")
+        _log.info(f"saved: {path}")
     if args.add:
         path = save_machine(
             result.machine,
             user_machines_dir(cache.root) / f"{result.machine.name}.json",
         )
-        print(f"installed: {path} (auto-registered by later invocations)")
+        _log.info(f"installed: {path} (auto-registered by later invocations)")
     return 0
 
 
@@ -816,24 +905,22 @@ def _cmd_machines_add(args) -> int:
 
     cache = _resolve_cli_cache(args)
     if cache is None:
-        print(
-            "error: the user machines directory lives in the artifact "
-            "cache; `machines add` cannot run with caching disabled",
-            file=sys.stderr,
+        _log.error(
+            "the user machines directory lives in the artifact "
+            "cache; `machines add` cannot run with caching disabled"
         )
         return 1
     _register_user_machines(cache)
     model = load_machine(args.file)
     existing = MACHINES.get(model.name)
     if existing is not None and existing != model:
-        print(
-            f"error: machine {model.name!r} is already registered with "
-            "different parameters; rename the machine in the file",
-            file=sys.stderr,
+        _log.error(
+            f"machine {model.name!r} is already registered with "
+            "different parameters; rename the machine in the file"
         )
         return 1
     path = save_machine(model, user_machines_dir(cache.root) / f"{model.name}.json")
-    print(f"installed: {model.name!r} -> {path}")
+    _log.info(f"installed: {model.name!r} -> {path}")
     return 0
 
 
@@ -842,7 +929,7 @@ def _cmd_machines_save(args) -> int:
 
     _register_user_machines(_resolve_cli_cache(args))
     path = save_machine(get_machine(args.machine), args.file)
-    print(f"saved: {args.machine!r} -> {path}")
+    _log.info(f"saved: {args.machine!r} -> {path}")
     return 0
 
 
@@ -983,10 +1070,9 @@ def _cmd_traces_build(args) -> int:
 
     cache = _resolve_cli_cache(args)
     if cache is None:
-        print(
-            "error: the trace store lives in the artifact cache; "
-            "`traces build` cannot run with caching disabled",
-            file=sys.stderr,
+        _log.error(
+            "the trace store lives in the artifact cache; "
+            "`traces build` cannot run with caching disabled"
         )
         return 1
     partitions = args.partitions or ACCOUNTING_CHUNKS
@@ -1010,11 +1096,11 @@ def _cmd_traces_build(args) -> int:
                 tag = "stored" if execution.replayed else "built"
                 built += not execution.replayed
                 replayed += execution.replayed
-                print(
+                _log.info(
                     f"{name}/{ordering}/{algo}: {tag} "
                     f"({len(execution.trace.records)} step(s), {dt:.3f}s)"
                 )
-    print(f"traces build: {built} executed, {replayed} already stored")
+    _log.info(f"traces build: {built} executed, {replayed} already stored")
     return 0
 
 
@@ -1038,7 +1124,87 @@ def _cmd_datasets_clean(args) -> int:
     return 0
 
 
-_SUBCOMMANDS = ("reorder", "datasets", "sweep", "traces", "machines")
+def _resolve_obs_dir_arg(args):
+    """The event-log directory an ``obs`` subcommand operates on:
+    ``--dir`` > the resolved cache root's ``obs/`` > the library default
+    (``REPRO_OBS_DIR``, else the default cache's ``obs/``)."""
+    from pathlib import Path
+
+    if getattr(args, "dir", None):
+        return Path(args.dir)
+    if not os.environ.get(obs.OBS_DIR_ENV_VAR):
+        cache = _resolve_cli_cache(args)
+        if cache is not None:
+            return cache.root / "obs"
+    return obs.resolve_obs_dir()
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs.report import render_obs_report
+
+    root = _resolve_obs_dir_arg(args)
+    if root is None:
+        _log.error(
+            "no event-log location: pass --dir PATH (the cache is disabled, "
+            "so there is no default)"
+        )
+        return 1
+    _log.debug(f"event log: {root}")
+    print(render_obs_report(root, top=args.top))
+    return 0
+
+
+def _cmd_obs_export(args) -> int:
+    from repro.obs.export import export_chrome
+
+    root = _resolve_obs_dir_arg(args)
+    if root is None:
+        _log.error(
+            "no event-log location: pass --dir PATH (the cache is disabled, "
+            "so there is no default)"
+        )
+        return 1
+    count = export_chrome(args.chrome, root)
+    _log.info(
+        f"wrote {count} trace event(s) -> {args.chrome} "
+        "(open at https://ui.perfetto.dev or about://tracing)"
+    )
+    return 0
+
+
+def _cmd_obs_validate(args) -> int:
+    from repro.obs.schema import validate_events
+
+    root = _resolve_obs_dir_arg(args)
+    events = obs.read_events(root) if root is not None else []
+    if not events:
+        print(f"no events under {root} (run with REPRO_OBS=1 or --obs)")
+        return 0
+    problems = validate_events(events)
+    if problems:
+        for problem in problems[:50]:
+            _log.error(problem)
+        if len(problems) > 50:
+            _log.error(f"... and {len(problems) - 50} more problem(s)")
+        return 1
+    print(f"{len(events)} event(s) under {root}: schema v{obs.EVENT_VERSION} valid")
+    return 0
+
+
+def _cmd_obs_clean(args) -> int:
+    root = _resolve_obs_dir_arg(args)
+    if root is None or not root.is_dir():
+        print("no event log to clean")
+        return 0
+    removed = 0
+    for path in sorted(root.glob("events-*.jsonl")):
+        path.unlink(missing_ok=True)
+        removed += 1
+    print(f"removed {removed} event file(s) from {root}")
+    return 0
+
+
+_SUBCOMMANDS = ("reorder", "datasets", "sweep", "traces", "machines", "obs")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1049,48 +1215,99 @@ def main(argv: list[str] | None = None) -> int:
     if head is not None and head not in _SUBCOMMANDS:
         argv.insert(0, "reorder")
     args = build_parser().parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "log_verbose", 0),
+        quiet=getattr(args, "log_quiet", False),
+    )
+    # --obs sets the environment variable (rather than some in-process
+    # flag) so sweep pool workers inherit the gate; restored afterwards
+    # so in-process callers (tests, notebooks) see no leak.
+    obs_env_set = False
+    if getattr(args, "obs_on", False) and not os.environ.get(obs.OBS_ENV_VAR):
+        os.environ[obs.OBS_ENV_VAR] = "1"
+        obs_env_set = True
+    # --no-cache is the per-invocation form of REPRO_CACHE_OFF (the help
+    # text documents them as equivalent).  Exporting it keeps secondary
+    # consumers honest too: sweep pool workers, the measurement store,
+    # and the obs sink — which would otherwise drop an event log under
+    # the default cache root the user just asked us not to write to.
+    cache_off_set = False
+    if getattr(args, "no_cache", False) and not os.environ.get("REPRO_CACHE_OFF"):
+        os.environ["REPRO_CACHE_OFF"] = "1"
+        cache_off_set = True
+    # --cache-dir moves the whole on-disk footprint, event log included;
+    # without this the obs sink would keep writing under the env/default
+    # cache root the user just redirected away from.
+    obs_dir_set = False
+    cli_cache_dir = getattr(args, "cache_dir", None)
+    if (
+        cli_cache_dir
+        and not cache_off_set
+        and not os.environ.get(obs.OBS_DIR_ENV_VAR)
+    ):
+        os.environ[obs.OBS_DIR_ENV_VAR] = os.path.join(cli_cache_dir, "obs")
+        obs_dir_set = True
     try:
-        if args.command == "datasets":
-            handler = {
-                "list": _cmd_datasets_list,
-                "build": _cmd_datasets_build,
-                "clean": _cmd_datasets_clean,
-            }[args.datasets_command]
-            return handler(args)
-        if args.command == "sweep":
-            handler = {
-                "run": _cmd_sweep_run,
-                "status": _cmd_sweep_status,
-                "report": _cmd_sweep_report,
-                "reprice": _cmd_sweep_reprice,
-            }[args.sweep_command]
-            return handler(args)
-        if args.command == "machines":
-            handler = {
-                "list": _cmd_machines_list,
-                "calibrate": _cmd_machines_calibrate,
-                "add": _cmd_machines_add,
-                "save": _cmd_machines_save,
-                "load": _cmd_machines_load,
-            }[args.machines_command]
-            return handler(args)
-        if args.command == "traces":
-            handler = {
-                "list": _cmd_traces_list,
-                "build": _cmd_traces_build,
-                "clean": _cmd_traces_clean,
-            }[args.traces_command]
-            return handler(args)
-        if args.command == "reorder":
-            return _cmd_reorder(args)
+        return _dispatch(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error(str(exc))
         return 1
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into `head`); not an error.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    finally:
+        if obs_env_set:
+            os.environ.pop(obs.OBS_ENV_VAR, None)
+        if cache_off_set:
+            os.environ.pop("REPRO_CACHE_OFF", None)
+        if obs_dir_set:
+            os.environ.pop(obs.OBS_DIR_ENV_VAR, None)
+
+
+def _dispatch(args) -> int:
+    if args.command == "datasets":
+        handler = {
+            "list": _cmd_datasets_list,
+            "build": _cmd_datasets_build,
+            "clean": _cmd_datasets_clean,
+        }[args.datasets_command]
+        return handler(args)
+    if args.command == "sweep":
+        handler = {
+            "run": _cmd_sweep_run,
+            "status": _cmd_sweep_status,
+            "report": _cmd_sweep_report,
+            "reprice": _cmd_sweep_reprice,
+        }[args.sweep_command]
+        return handler(args)
+    if args.command == "machines":
+        handler = {
+            "list": _cmd_machines_list,
+            "calibrate": _cmd_machines_calibrate,
+            "add": _cmd_machines_add,
+            "save": _cmd_machines_save,
+            "load": _cmd_machines_load,
+        }[args.machines_command]
+        return handler(args)
+    if args.command == "traces":
+        handler = {
+            "list": _cmd_traces_list,
+            "build": _cmd_traces_build,
+            "clean": _cmd_traces_clean,
+        }[args.traces_command]
+        return handler(args)
+    if args.command == "obs":
+        handler = {
+            "report": _cmd_obs_report,
+            "export": _cmd_obs_export,
+            "validate": _cmd_obs_validate,
+            "clean": _cmd_obs_clean,
+        }[args.obs_command]
+        return handler(args)
+    if args.command == "reorder":
+        return _cmd_reorder(args)
     build_parser().print_help()
     return 2
 

@@ -23,6 +23,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms import ALGORITHMS
 from repro.frameworks.personality import (
     FRAMEWORKS,
@@ -315,6 +316,20 @@ def execute(
 
         num_partitions = ACCOUNTING_CHUNKS
     ordering_name = prepared.ordering if prepared is not None else ordering
+    # Thread-local context: every event emitted below this frame — cache
+    # gets, engine steps, band timings — carries the cell's identity.
+    with obs.context(graph=graph.name, ordering=ordering_name, algorithm=algorithm), \
+            obs.span("run.execute", cat="run"):
+        return _execute_inner(
+            graph, algorithm, ordering_name, ordering, prepared, num_partitions,
+            cache, traces, refresh, backend, replay_only, algo_kwargs,
+        )
+
+
+def _execute_inner(
+    graph, algorithm, ordering_name, ordering, prepared, num_partitions,
+    cache, traces, refresh, backend, replay_only, algo_kwargs,
+) -> TraceExecution:
     trace_store = None
     key = None
     if traces is not False:

@@ -45,6 +45,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import ResultsError
 from repro.experiments.results import ResultsStore, result_cell_key
 from repro.experiments.runner import (
@@ -313,6 +314,23 @@ _WORKER_GRAPHS: dict = {}
 _WORKER_PREPARED: dict = {}
 
 
+def _attach_worker_obs(cache_root: str | None) -> None:
+    """Point this worker's obs sink at the orchestrator's cache root.
+
+    Workers inherit ``REPRO_OBS`` through the environment, but an
+    orchestrator given an explicit cache *instance* resolves its obs
+    directory from the instance's root — which no environment variable
+    carries across the process boundary.  Setting the sink explicitly
+    (idempotent, per task, like :func:`_register_cache_machines`) makes
+    every process of one sweep log into the same ``<cache>/obs/`` tree;
+    each worker still owns its private ``events-<pid>.jsonl``, merged by
+    the orchestrator when the pool completes."""
+    if not obs.enabled():
+        return
+    if cache_root is not None and not os.environ.get(obs.OBS_DIR_ENV_VAR):
+        obs.set_obs_dir(os.path.join(cache_root, "obs"))
+
+
 def _register_cache_machines(cache) -> None:
     """Register user machine personalities from ``cache`` in this process.
 
@@ -340,6 +358,7 @@ def _worker_run_cell(cell: SweepCell, cache_root: str | None) -> dict:
     from repro.store import ArtifactCache
 
     cache = ArtifactCache(cache_root) if cache_root is not None else False
+    _attach_worker_obs(cache_root)
     _register_cache_machines(cache)
     result = _compute_cell(cell, cache, _WORKER_GRAPHS, _WORKER_PREPARED)
     return result.to_dict()
@@ -355,6 +374,7 @@ def _worker_run_group(
     from repro.store import ArtifactCache
 
     cache = ArtifactCache(cache_root) if cache_root is not None else False
+    _attach_worker_obs(cache_root)
     _register_cache_machines(cache)
     results, replayed = _compute_group(
         group, cache, _WORKER_GRAPHS, _WORKER_PREPARED, replay_only=replay_only
@@ -410,9 +430,37 @@ def run_cells(
     ``groups``, and how many groups were ``executed`` fresh vs
     ``replayed`` from the trace store.
     """
+    cells = list(cells)
+    with obs.span("sweep.run", cat="sweep", cells=len(cells), jobs=int(jobs)):
+        try:
+            return _run_cells_inner(
+                cells, jobs=jobs, store=store, resume=resume, cache=cache,
+                dedup=dedup, replay_only=replay_only, progress=progress,
+                stats=stats,
+            )
+        finally:
+            if obs.enabled():
+                # Fold finished workers' event files into ours, then
+                # persist the metrics the run accumulated (cache hit
+                # counters, band-imbalance histograms, cell counts).
+                obs.merge_process_files()
+                obs.flush_metrics()
+
+
+def _run_cells_inner(
+    cells: list[SweepCell],
+    *,
+    jobs: int,
+    store: "ResultsStore | str | os.PathLike | None",
+    resume: bool,
+    cache,
+    dedup: bool,
+    replay_only: bool,
+    progress: ProgressFn | None,
+    stats: dict | None,
+) -> list[ExperimentResult]:
     from repro.store import resolve_cache
 
-    cells = list(cells)
     if replay_only and not dedup:
         raise ResultsError(
             "replay_only requires dedup scheduling (the per-cell path "
@@ -434,11 +482,14 @@ def run_cells(
         if key in done:
             results[key] = done[key]
             resumed += 1
+            obs.metrics().counter("sweep.cells_resumed")
+            obs.event("sweep.cell", cat="sweep", status="resumed", cell=cell.label())
             if progress is not None:
                 progress(cell, done[key], True)
         elif key not in seen:
             seen.add(key)
             pending.append((cell, key))
+            obs.event("sweep.cell", cat="sweep", status="queued", cell=cell.label())
 
     resolved = resolve_cache(cache)
     if replay_only and resolved is None:
@@ -457,6 +508,11 @@ def run_cells(
     def record(cell: SweepCell, key: str, result: ExperimentResult,
                replayed: bool) -> None:
         results[key] = result
+        status = "replayed" if replayed else "executed"
+        # The counter feeds progress heartbeats even when event logging
+        # is off — the registry is in-memory and always live.
+        obs.metrics().counter(f"sweep.cells_{status}")
+        obs.event("sweep.cell", cat="sweep", status=status, cell=cell.label())
         if store is not None:
             store.append(
                 key, result,

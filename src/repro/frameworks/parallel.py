@@ -100,6 +100,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.frameworks.engine import EdgeOp
 from repro.frameworks.frontier import Frontier
@@ -298,6 +299,31 @@ class ParallelEngine(VectorizedEngine):
                 ],
             }
         )
+        if obs.enabled() and bands:
+            # Runs on the orchestrating thread, so execute()'s thread-local
+            # context (algorithm/graph/ordering) attributes the event.
+            secs = [s for _, _, _, s in bands]
+            edges = [e for _, _, e, _ in bands]
+            mean_s = sum(secs) / len(secs)
+            mean_e = sum(edges) / len(edges)
+            obs.event(
+                "engine.step_bands",
+                cat="engine",
+                step=len(self.trace.records) - 1,
+                kind=kind,
+                direction=direction,
+                bands=len(bands),
+                max_seconds=max(secs),
+                mean_seconds=mean_s,
+                max_edges=max(edges),
+                mean_edges=mean_e,
+                total_edges=sum(edges),
+            )
+            reg = obs.metrics()
+            if mean_s > 0:
+                reg.histogram("engine.band_time_imbalance").observe(max(secs) / mean_s)
+            if mean_e > 0:
+                reg.histogram("engine.band_edge_imbalance").observe(max(edges) / mean_e)
 
     # ------------------------------------------------------------------
     # Dense edgemap

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.frameworks.frontier import DensityClass
 
 __all__ = [
@@ -139,6 +140,20 @@ class WorkTrace:
 
     def append(self, record: IterationRecord) -> None:
         self.records.append(record)
+        # Live instrumentation seam: every step a backend *executes* flows
+        # through here, while replayed traces are rebuilt via the
+        # WorkTrace(records=...) constructor and correctly emit nothing.
+        if obs.enabled():
+            obs.event(
+                "engine.step",
+                cat="engine",
+                step=len(self.records),
+                kind=record.kind,
+                direction=record.direction,
+                density=record.density.name.lower(),
+                active_vertices=int(record.active_vertices),
+                active_edges=int(record.active_edges),
+            )
 
     @property
     def num_iterations(self) -> int:

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRMatrix, Graph, INDEX_DTYPE
 
@@ -68,6 +69,11 @@ def write_adjacency_graph(graph: Graph, path: str | os.PathLike) -> None:
 
 def read_adjacency_graph(path: str | os.PathLike, name: str | None = None) -> Graph:
     """Parse a Ligra ``AdjacencyGraph``/``WeightedAdjacencyGraph`` file."""
+    with obs.span("graph.read_adjacency", cat="ingest", path=str(path)):
+        return _read_adjacency_graph(path, name)
+
+
+def _read_adjacency_graph(path: str | os.PathLike, name: str | None = None) -> Graph:
     with _typed_read_errors(path):
         text = Path(path).read_text(encoding="ascii")
     tokens = text.split()
@@ -136,7 +142,8 @@ def read_edge_list(
     """
     from repro.store.chunked import read_edge_list_chunked
 
-    return read_edge_list_chunked(path, num_vertices=num_vertices, name=name)
+    with obs.span("graph.read_edge_list", cat="ingest", path=str(path)):
+        return read_edge_list_chunked(path, num_vertices=num_vertices, name=name)
 
 
 def save_npz(graph: Graph, path: str | os.PathLike) -> None:

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CalibrationError
 from repro.machine.cost import CostModel, DEFAULT_COST_MODEL, PartitionWork
 from repro.machine.models import MachineModel
@@ -184,6 +185,15 @@ def fit_machine(
     scale).
     """
     samples = list(samples)
+    with obs.span("machine.fit", cat="machine", samples=len(samples), machine=name):
+        return _fit_machine_inner(
+            samples, name, base, description, num_sockets, threads_per_socket
+        )
+
+
+def _fit_machine_inner(
+    samples, name, base, description, num_sockets, threads_per_socket
+) -> CalibrationResult:
     if not samples:
         raise CalibrationError(
             "no measurement samples to fit from; per-chunk timings are "

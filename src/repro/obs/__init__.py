@@ -1,0 +1,61 @@
+"""repro.obs — structured spans, metrics, and timeline export.
+
+Usage at an instrumentation site::
+
+    from repro import obs
+
+    with obs.span("store.load_graph", cat="store", dataset=name):
+        ...
+    obs.event("cache.get", cat="store", kind=kind, key=key, hit=True)
+    obs.metrics().counter("cache.hits")
+
+Everything is a no-op unless ``REPRO_OBS`` is set (or ``--obs`` on the
+CLI).  See :mod:`repro.obs.core` for the model, :mod:`repro.obs.schema`
+for the on-disk contract, and ``docs/ARCHITECTURE.md`` § Observability.
+"""
+
+from repro.obs.core import (
+    EVENT_VERSION,
+    OBS_DIR_ENV_VAR,
+    OBS_ENV_VAR,
+    Histogram,
+    MetricsRegistry,
+    ProgressHeartbeat,
+    context,
+    enabled,
+    event,
+    events_path,
+    flush_metrics,
+    force_enabled,
+    iter_span_pairs,
+    merge_process_files,
+    metrics,
+    read_events,
+    reset,
+    resolve_obs_dir,
+    set_obs_dir,
+    span,
+)
+
+__all__ = [
+    "EVENT_VERSION",
+    "OBS_DIR_ENV_VAR",
+    "OBS_ENV_VAR",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressHeartbeat",
+    "context",
+    "enabled",
+    "event",
+    "events_path",
+    "flush_metrics",
+    "force_enabled",
+    "iter_span_pairs",
+    "merge_process_files",
+    "metrics",
+    "read_events",
+    "reset",
+    "resolve_obs_dir",
+    "set_obs_dir",
+    "span",
+]

@@ -1,0 +1,83 @@
+"""Export the event log to Chrome trace-event format (Perfetto,
+about://tracing).
+
+Our on-disk schema was designed within arm's reach of the trace-event
+spec, so export is nearly identity: ``B``/``E``/``I``/``C``/``M`` lines
+map to the phases of the same name, ``ts`` is already microseconds, and
+``pid``/``tid`` carry through.  Differences handled here:
+
+* instant events gain ``"s": "t"`` (thread scope) as the spec requires;
+* counter values move into ``args`` keyed by the counter name so the
+  viewer draws a track per counter;
+* ``M`` metadata lines become ``process_name``/``thread_name`` metadata
+  records;
+* our ``v``/``seq`` bookkeeping fields are dropped.
+
+The output is the JSON-object form ``{"traceEvents": [...]}``, which
+both viewers accept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.core import read_events
+
+__all__ = ["to_chrome_trace", "export_chrome"]
+
+
+def to_chrome_trace(events: list[dict]) -> dict:
+    """Translate event-log lines to a trace-event JSON object."""
+    out: list[dict] = []
+    for evt in events:
+        ph = evt.get("ph")
+        name = evt.get("name", "")
+        args = evt.get("args") or {}
+        base = {
+            "name": name,
+            "cat": evt.get("cat") or "repro",
+            "ph": ph,
+            "ts": evt.get("ts", 0),
+            "pid": evt.get("pid", 0),
+            "tid": evt.get("tid", 0),
+        }
+        if ph in ("B", "E"):
+            if args:
+                base["args"] = args
+        elif ph == "I":
+            base["ph"] = "i"
+            base["s"] = "t"
+            if args:
+                base["args"] = args
+        elif ph == "C":
+            base["args"] = {name: args.get("value", 0)}
+        elif ph == "M":
+            base["ph"] = "M"
+            base["name"] = name if name in ("process_name", "thread_name") else "process_name"
+            base["args"] = {"name": args.get("name", "repro")}
+            base.pop("cat", None)
+            base.pop("ts", None)
+        else:
+            continue
+        out.append(base)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def export_chrome(
+    out_path: str | os.PathLike,
+    where: str | os.PathLike | None = None,
+) -> int:
+    """Write the Chrome trace JSON for the event log at ``where`` (default:
+    the resolved obs directory) to ``out_path``; returns the number of
+    trace events written."""
+    events = read_events(where)
+    trace = to_chrome_trace(events)
+    path = Path(out_path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1, default=str)
+        fh.write("\n")
+    return len(trace["traceEvents"])

@@ -1,0 +1,100 @@
+"""Shared ``logging`` configuration for the CLI.
+
+Every subcommand's informational output flows through the ``repro``
+logger instead of bare ``print``s, so the global ``-v/--verbose`` /
+``-q/--quiet`` flags filter it uniformly:
+
+* default — INFO: the lines the CLI always printed, verbatim, on
+  **stdout** (results data itself stays ``print``; these are the
+  progress/diagnostic lines around it);
+* ``-q`` — WARNING: informational lines suppressed;
+* ``-v`` — DEBUG: extra diagnostics (cache paths, obs sink location).
+
+INFO-and-below goes to stdout bare (existing stdout-asserting tests and
+shell pipelines keep working); WARNING-and-above goes to stderr with a
+``warning:`` / ``error:`` prefix, matching the CLI's existing error
+style.  Handlers resolve ``sys.stdout``/``sys.stderr`` at emit time so
+pytest's ``capsys`` (which swaps the streams per test) sees every line.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger"]
+
+LOGGER_NAME = "repro"
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """StreamHandler that re-reads the target stream each emit, so
+    redirections (capsys, contextlib.redirect_stdout) take effect."""
+
+    def __init__(self, which: str) -> None:
+        super().__init__()
+        self._which = which
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return getattr(sys, self._which)
+
+    @stream.setter
+    def stream(self, value) -> None:  # pragma: no cover - base ctor writes it
+        pass
+
+
+class _StdoutFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.WARNING
+
+
+class _StderrFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno >= logging.WARNING
+
+
+class _PrefixFormatter(logging.Formatter):
+    """Bare messages at INFO, ``debug:``/``warning:``/``error:`` prefixes
+    elsewhere — the CLI's historical voice."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        msg = record.getMessage()
+        if record.levelno == logging.INFO:
+            return msg
+        return f"{record.levelname.lower()}: {msg}"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The shared CLI logger (or a child of it)."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Install the stdout/stderr handler pair on the ``repro`` logger and
+    set its level from the flags.  Idempotent — repeated CLI entry (tests
+    call ``main()`` many times per process) replaces, never stacks,
+    handlers."""
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+    out = _DynamicStreamHandler("stdout")
+    out.addFilter(_StdoutFilter())
+    out.setFormatter(_PrefixFormatter())
+    err = _DynamicStreamHandler("stderr")
+    err.addFilter(_StderrFilter())
+    err.setFormatter(_PrefixFormatter())
+    logger.addHandler(out)
+    logger.addHandler(err)
+
+    if quiet:
+        logger.setLevel(logging.WARNING)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,201 @@
+"""Summary tables over the event log: ``repro obs report``.
+
+Three views, all computed from the same append-only JSONL:
+
+* **Band load-imbalance** — the paper's headline quantity.  Each
+  ``engine.step_bands`` instant event (emitted by the parallel engine
+  once per edgemap/vertexmap step) carries the per-band max/mean
+  wall-clock and edge counts; grouped by (algorithm, graph, ordering)
+  this table is the measured counterpart of the analytic imbalance the
+  cost model prices.  Imbalance = max-band / mean-band, 1.0 is perfect.
+* **Cache traffic** — hit/miss/put counts and bytes per artifact kind,
+  from ``cache.get``/``cache.put`` events (trace-store lookups appear
+  as ``kind=trace``).
+* **Sweep lifecycle** — executed vs. replayed vs. resumed cell counts
+  (the dedup ratio is replayed / (executed + replayed)).
+
+Plus the slowest completed spans, for "where did the time go" triage.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.metrics.tables import format_table
+from repro.obs.core import iter_span_pairs, read_events
+
+__all__ = [
+    "band_imbalance_rows",
+    "cache_rows",
+    "sweep_rows",
+    "slowest_span_rows",
+    "render_obs_report",
+]
+
+
+def band_imbalance_rows(events: list[dict]) -> list[dict]:
+    """Per-(algorithm, graph, ordering) measured band imbalance."""
+    groups: dict[tuple, dict] = {}
+    for evt in events:
+        if evt.get("name") != "engine.step_bands" or evt.get("ph") != "I":
+            continue
+        args = evt.get("args") or {}
+        key = (
+            str(args.get("algorithm", "?")),
+            str(args.get("graph", "?")),
+            str(args.get("ordering", "?")),
+        )
+        g = groups.setdefault(
+            key,
+            {
+                "steps": 0,
+                "time_imb_sum": 0.0,
+                "time_imb_max": 0.0,
+                "edge_imb_sum": 0.0,
+                "edge_imb_max": 0.0,
+            },
+        )
+        mean_s = float(args.get("mean_seconds", 0.0))
+        max_s = float(args.get("max_seconds", 0.0))
+        mean_e = float(args.get("mean_edges", 0.0))
+        max_e = float(args.get("max_edges", 0.0))
+        time_imb = max_s / mean_s if mean_s > 0 else 1.0
+        edge_imb = max_e / mean_e if mean_e > 0 else 1.0
+        g["steps"] += 1
+        g["time_imb_sum"] += time_imb
+        g["time_imb_max"] = max(g["time_imb_max"], time_imb)
+        g["edge_imb_sum"] += edge_imb
+        g["edge_imb_max"] = max(g["edge_imb_max"], edge_imb)
+    rows = []
+    for (algorithm, graph, ordering), g in sorted(groups.items()):
+        steps = g["steps"]
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "graph": graph,
+                "ordering": ordering,
+                "steps": steps,
+                "time_imbalance": g["time_imb_sum"] / steps,
+                "time_imbalance_max": g["time_imb_max"],
+                "edge_imbalance": g["edge_imb_sum"] / steps,
+                "edge_imbalance_max": g["edge_imb_max"],
+            }
+        )
+    return rows
+
+
+def cache_rows(events: list[dict]) -> list[dict]:
+    """Per-kind artifact-cache traffic.
+
+    Counts only the cache layer's own instant events — ``trace.load``
+    hits/misses surface here as ``kind=trace`` gets, and the replay view
+    of the same traffic is the sweep table's ``replayed`` column.
+    """
+    kinds: dict[str, dict] = {}
+    for evt in events:
+        name = evt.get("name")
+        if name not in ("cache.get", "cache.put") or evt.get("ph") != "I":
+            continue
+        args = evt.get("args") or {}
+        kind = str(args.get("kind", "?"))
+        k = kinds.setdefault(kind, {"hits": 0, "misses": 0, "puts": 0, "bytes": 0})
+        if name == "cache.get":
+            if args.get("hit"):
+                k["hits"] += 1
+            else:
+                k["misses"] += 1
+        else:
+            k["puts"] += 1
+            k["bytes"] += int(args.get("bytes", 0))
+    rows = []
+    for kind, k in sorted(kinds.items()):
+        total = k["hits"] + k["misses"]
+        rows.append(
+            {
+                "kind": kind,
+                "hits": k["hits"],
+                "misses": k["misses"],
+                "hit_rate": k["hits"] / total if total else 0.0,
+                "puts": k["puts"],
+                "bytes_written": k["bytes"],
+            }
+        )
+    return rows
+
+
+def sweep_rows(events: list[dict]) -> list[dict]:
+    """Sweep cell lifecycle counts and the resulting dedup ratio."""
+    counts = {"queued": 0, "executed": 0, "replayed": 0, "resumed": 0}
+    for evt in events:
+        if evt.get("name") != "sweep.cell" or evt.get("ph") != "I":
+            continue
+        status = (evt.get("args") or {}).get("status")
+        if status in counts:
+            counts[status] += 1
+    ran = counts["executed"] + counts["replayed"]
+    if not any(counts.values()):
+        return []
+    return [
+        {
+            "queued": counts["queued"],
+            "executed": counts["executed"],
+            "replayed": counts["replayed"],
+            "resumed": counts["resumed"],
+            "dedup_ratio": counts["replayed"] / ran if ran else 0.0,
+        }
+    ]
+
+
+def slowest_span_rows(events: list[dict], top: int = 10) -> list[dict]:
+    """The ``top`` longest completed spans."""
+    pairs = sorted(iter_span_pairs(events), key=lambda p: -p[2])[:top]
+    rows = []
+    for begin, _end, dur_us in pairs:
+        args = begin.get("args") or {}
+        label = ", ".join(
+            f"{k}={args[k]}" for k in ("algorithm", "graph", "ordering", "dataset", "kind")
+            if k in args
+        )
+        rows.append(
+            {
+                "span": begin.get("name", "?"),
+                "seconds": dur_us / 1e6,
+                "pid": begin.get("pid", 0),
+                "detail": label,
+            }
+        )
+    return rows
+
+
+def render_obs_report(
+    where: str | os.PathLike | None = None,
+    events: list[dict] | None = None,
+    top: int = 10,
+) -> str:
+    """The full ``obs report`` text."""
+    if events is None:
+        events = read_events(where)
+    sections: list[str] = []
+    if not events:
+        return "no events recorded (run with REPRO_OBS=1 or --obs)"
+    sections.append(f"events: {len(events)}")
+
+    imb = band_imbalance_rows(events)
+    sections.append("band load-imbalance (max-band / mean-band, 1.0 = perfect)")
+    sections.append(format_table(imb) if imb else "(no engine band events — parallel backend only)")
+
+    cache = cache_rows(events)
+    sections.append("cache traffic")
+    sections.append(format_table(cache) if cache else "(no cache events)")
+
+    sweep = sweep_rows(events)
+    if sweep:
+        sections.append("sweep cells")
+        sections.append(format_table(sweep))
+
+    slow = slowest_span_rows(events, top=top)
+    if slow:
+        sections.append(f"slowest spans (top {len(slow)})")
+        sections.append(format_table(slow))
+
+    return "\n\n".join(sections)

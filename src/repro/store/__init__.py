@@ -24,6 +24,7 @@ cache, honouring ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_OFF``), or ``False``
 
 from __future__ import annotations
 
+from repro import obs
 from repro.edgeorder.orders import EdgeOrderResult
 from repro.graph.csr import Graph
 from repro.ordering.base import OrderingResult, apply_ordering, get_ordering
@@ -109,13 +110,14 @@ def load_graph(
     """
     spec = get_dataset(name)
     resolved = resolve_cache(cache)
-    if resolved is None:
-        return spec.build(**params)
-    key = artifact_key("graph", spec.cache_payload(**params))
-    arrays, _hit = resolved.get_or_build(
-        "graph", key, lambda: ser.pack_graph(spec.build(**params)), refresh=refresh
-    )
-    return ser.unpack_graph(arrays)
+    with obs.span("store.load_graph", cat="store", dataset=name):
+        if resolved is None:
+            return spec.build(**params)
+        key = artifact_key("graph", spec.cache_payload(**params))
+        arrays, _hit = resolved.get_or_build(
+            "graph", key, lambda: ser.pack_graph(spec.build(**params)), refresh=refresh
+        )
+        return ser.unpack_graph(arrays)
 
 
 def _graph_key_payload(graph: Graph) -> dict:
@@ -137,17 +139,18 @@ def cached_ordering(
     never be applied to a graph it was not computed from.
     """
     resolved = resolve_cache(cache)
-    if resolved is None:
-        return get_ordering(algorithm)(graph, **kwargs)
-    payload = {**_graph_key_payload(graph), "algorithm": algorithm, "kwargs": kwargs}
-    key = artifact_key("ordering", payload)
-    arrays, _hit = resolved.get_or_build(
-        "ordering",
-        key,
-        lambda: ser.pack_ordering(get_ordering(algorithm)(graph, **kwargs)),
-        refresh=refresh,
-    )
-    return ser.unpack_ordering(arrays)
+    with obs.span("store.cached_ordering", cat="store", ordering=algorithm):
+        if resolved is None:
+            return get_ordering(algorithm)(graph, **kwargs)
+        payload = {**_graph_key_payload(graph), "algorithm": algorithm, "kwargs": kwargs}
+        key = artifact_key("ordering", payload)
+        arrays, _hit = resolved.get_or_build(
+            "ordering",
+            key,
+            lambda: ser.pack_ordering(get_ordering(algorithm)(graph, **kwargs)),
+            refresh=refresh,
+        )
+        return ser.unpack_ordering(arrays)
 
 
 def cached_partition(

@@ -45,6 +45,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CacheError
 
 __all__ = [
@@ -152,18 +153,29 @@ class ArtifactCache:
         """
         path = self.path_for(kind, key)
         if not path.is_file():
+            self._note_get(kind, key, hit=False)
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 arrays = {name: data[name] for name in data.files}
         except (OSError, ValueError, KeyError):
             path.unlink(missing_ok=True)
+            self._note_get(kind, key, hit=False)
             return None
         if str(arrays.get(MAGIC_FIELD, "")) != MAGIC_VALUE:
             # Right name, wrong provenance: do not trust, do not delete.
+            self._note_get(kind, key, hit=False)
             return None
         arrays.pop(MAGIC_FIELD, None)
+        self._note_get(kind, key, hit=True)
         return arrays
+
+    @staticmethod
+    def _note_get(kind: str, key: str, hit: bool) -> None:
+        if not obs.enabled():
+            return
+        obs.event("cache.get", cat="store", kind=kind, key=key, hit=hit)
+        obs.metrics().counter(f"cache.{kind}.{'hits' if hit else 'misses'}")
 
     def store(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
         """Atomically persist a bundle (write-to-temp, then rename)."""
@@ -181,6 +193,11 @@ class ArtifactCache:
         except OSError as exc:
             Path(tmp).unlink(missing_ok=True)
             raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        if obs.enabled():
+            size = path.stat().st_size
+            obs.event("cache.put", cat="store", kind=kind, key=key, bytes=size)
+            obs.metrics().counter(f"cache.{kind}.puts")
+            obs.metrics().counter(f"cache.{kind}.bytes_written", size)
         return path
 
     def get_or_build(

@@ -48,6 +48,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CacheError
 
 __all__ = [
@@ -116,7 +117,11 @@ class MeasurementStore:
             raise CacheError(
                 f"cannot append to measurement store {self.path}: {exc}"
             ) from exc
-        return blob.count("\n")
+        count = blob.count("\n")
+        if obs.enabled():
+            obs.event("measurements.append", cat="store", samples=count)
+            obs.metrics().counter("measurements.samples", count)
+        return count
 
     # ------------------------------------------------------------------
     # reading

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CacheError
 from repro.frameworks.trace import (
     DENSITY_CODES,
@@ -273,7 +274,10 @@ def save_trace(
     resolved = resolve_cache(cache)
     if resolved is None:
         return None
-    return resolved.store("trace", key, pack_trace(trace, iterations, labels=labels))
+    with obs.span("trace.save", cat="store", key=key):
+        return resolved.store(
+            "trace", key, pack_trace(trace, iterations, labels=labels)
+        )
 
 
 def load_trace(key: str, *, cache=None) -> StoredTrace | None:
@@ -286,8 +290,12 @@ def load_trace(key: str, *, cache=None) -> StoredTrace | None:
         return None
     arrays = resolved.load("trace", key)
     if arrays is None:
+        obs.event("trace.load", cat="store", key=key, hit=False)
         return None
     try:
-        return unpack_trace(arrays)
+        stored = unpack_trace(arrays)
     except CacheError:
+        obs.event("trace.load", cat="store", key=key, hit=False)
         return None
+    obs.event("trace.load", cat="store", key=key, hit=True)
+    return stored

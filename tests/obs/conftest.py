@@ -1,0 +1,38 @@
+"""Fixtures for the observability suite: every test gets an isolated obs
+directory and a clean sink/registry, so event files never leak between
+tests (or into the developer's real artifact cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import core
+
+
+@pytest.fixture
+def obs_dir(tmp_path, monkeypatch):
+    """An isolated obs directory with the gate forced open.
+
+    Uses ``REPRO_OBS_DIR`` (not ``set_obs_dir``) so the resolution path
+    under test is the one production uses, and so spawned subprocesses
+    inherit it.
+    """
+    root = tmp_path / "obs"
+    monkeypatch.setenv(core.OBS_DIR_ENV_VAR, str(root))
+    monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+    core.reset()
+    yield root
+    core.reset()
+
+
+@pytest.fixture
+def obs_off(tmp_path, monkeypatch):
+    """Observability fully disabled, with the cache rooted in tmp so any
+    accidental emission would be visible (and fail the test)."""
+    cache_root = tmp_path / "cache"
+    monkeypatch.delenv(core.OBS_ENV_VAR, raising=False)
+    monkeypatch.delenv(core.OBS_DIR_ENV_VAR, raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_root))
+    core.reset()
+    yield cache_root
+    core.reset()

@@ -1,0 +1,232 @@
+"""Span/event/context semantics, the sink's on-disk contract, the metrics
+registry, and the progress heartbeat."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import core
+
+
+def read_own_file(obs_dir):
+    path = obs_dir / f"events-{os.getpid()}.jsonl"
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestGate:
+    def test_disabled_by_default(self, obs_off):
+        assert not obs.enabled()
+
+    def test_env_enables(self, obs_dir):
+        assert obs.enabled()
+
+    def test_force_enabled_overrides_env(self, obs_off):
+        with obs.force_enabled():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_force_disabled_overrides_env(self, obs_dir):
+        with obs.force_enabled(False):
+            assert not obs.enabled()
+        assert obs.enabled()
+
+    def test_disabled_span_is_shared_noop(self, obs_off):
+        a = obs.span("x")
+        b = obs.span("y", cat="z", k=1)
+        assert a is b  # the null CM singleton: zero per-call allocation
+        with a:
+            pass
+
+    def test_disabled_event_writes_nothing(self, obs_off):
+        obs.event("cache.get", cat="store", hit=True)
+        with obs.span("store.load_graph"):
+            pass
+        assert not (obs_off / "obs").exists()
+
+
+class TestSpansAndEvents:
+    def test_span_emits_begin_and_end(self, obs_dir):
+        with obs.span("work.outer", cat="test", depth=0):
+            with obs.span("work.inner", cat="test", depth=1):
+                pass
+        events = [e for e in read_own_file(obs_dir) if e["ph"] in ("B", "E")]
+        assert [(e["ph"], e["name"]) for e in events] == [
+            ("B", "work.outer"), ("B", "work.inner"),
+            ("E", "work.inner"), ("E", "work.outer"),
+        ]
+        assert events[0]["args"] == {"depth": 0}
+        assert events[0]["cat"] == "test"
+
+    def test_span_records_exception_and_reraises(self, obs_dir):
+        with pytest.raises(ValueError):
+            with obs.span("work.fails"):
+                raise ValueError("boom")
+        end = [e for e in read_own_file(obs_dir) if e["ph"] == "E"][-1]
+        assert end["args"] == {"error": "ValueError"}
+
+    def test_instant_event(self, obs_dir):
+        obs.event("cache.get", cat="store", kind="graph", hit=False)
+        evt = [e for e in read_own_file(obs_dir) if e["ph"] == "I"][-1]
+        assert evt["name"] == "cache.get"
+        assert evt["args"] == {"kind": "graph", "hit": False}
+
+    def test_seq_gap_free_and_ts_monotonic(self, obs_dir):
+        for i in range(20):
+            obs.event("tick", i=i)
+        events = read_own_file(obs_dir)
+        # Gap-free within the process lifetime: consecutive from wherever
+        # the per-process counter stood when this file opened.
+        seqs = [e["seq"] for e in events]
+        assert seqs == list(range(seqs[0], seqs[0] + len(events)))
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_context_attributes_merge(self, obs_dir):
+        with obs.context(graph="twitter", ordering="vebo"):
+            obs.event("engine.step", step=3)
+            with obs.context(ordering="original"):
+                obs.event("engine.step", step=4)
+            # An event's own args beat any context frame.
+            obs.event("engine.step", step=5, graph="override")
+        a, b, c = [e for e in read_own_file(obs_dir) if e["name"] == "engine.step"]
+        assert a["args"] == {"graph": "twitter", "ordering": "vebo", "step": 3}
+        assert b["args"] == {"graph": "twitter", "ordering": "original", "step": 4}
+        assert c["args"]["graph"] == "override"
+
+    def test_read_events_orders_and_tolerates_garbage(self, obs_dir):
+        obs.event("one")
+        obs.event("two")
+        core.reset()  # close so we can append garbage safely
+        path = obs_dir / f"events-{os.getpid()}.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{truncated by a kill\n")
+            fh.write(json.dumps({"v": 999, "seq": 1}) + "\n")  # foreign version
+        events = obs.read_events(obs_dir)
+        assert [e["name"] for e in events if e["ph"] == "I"] == ["one", "two"]
+        assert all(e["v"] == core.EVENT_VERSION for e in events)
+
+    def test_events_dropped_when_nowhere_to_go(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+        monkeypatch.delenv(core.OBS_DIR_ENV_VAR, raising=False)
+        monkeypatch.setenv("REPRO_CACHE_OFF", "1")
+        core.reset()
+        try:
+            assert core.resolve_obs_dir() is None
+            obs.event("nowhere")  # must not raise
+            assert obs.read_events() == []
+        finally:
+            core.reset()
+
+    def test_explicit_dir_beats_env(self, obs_dir, tmp_path):
+        explicit = tmp_path / "elsewhere"
+        obs.set_obs_dir(explicit)
+        try:
+            obs.event("here")
+            assert core.resolve_obs_dir() == explicit
+            assert (explicit / f"events-{os.getpid()}.jsonl").exists()
+        finally:
+            obs.set_obs_dir(None)
+
+    def test_merge_process_files_appends_dead_pid_lines(self, obs_dir):
+        obs.event("mine")
+        # Fabricate a file from a pid that cannot be alive (and is not ours).
+        dead = obs_dir / "events-999999999.jsonl"
+        foreign = {
+            "v": core.EVENT_VERSION, "seq": 1, "ts": 1, "pid": 999999999,
+            "tid": 1, "ph": "I", "name": "foreign", "cat": "",
+        }
+        dead.write_text(json.dumps(foreign) + "\n", encoding="utf-8")
+        assert obs.merge_process_files(obs_dir) == 1
+        assert not dead.exists()
+        names = {e["name"] for e in read_own_file(obs_dir)}
+        assert {"mine", "foreign"} <= names
+
+    def test_merge_skips_live_pids(self, obs_dir):
+        obs.event("mine")
+        live = obs_dir / f"events-{os.getpid()}.jsonl"
+        assert obs.merge_process_files(obs_dir) == 0
+        assert live.exists()
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = obs.MetricsRegistry()
+        assert reg.counter("hits") == 1.0
+        assert reg.counter("hits", 2) == 3.0
+        reg.gauge("depth", 7)
+        hist = reg.histogram("imbalance")
+        for v in (0.5, 1.0, 3.0, 3.5, 9.0):
+            hist.observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3.0}
+        assert snap["gauges"] == {"depth": 7.0}
+        h = snap["histograms"]["imbalance"]
+        assert h["count"] == 5
+        assert h["min"] == 0.5 and h["max"] == 9.0
+        assert h["mean"] == pytest.approx(17.0 / 5)
+        # power-of-two buckets: <1 -> 0, [1,2) -> 1, [2,4) -> 2, [8,16) -> 4
+        assert h["buckets"] == {"0": 1, "1": 1, "2": 2, "4": 1}
+
+    def test_flush_metrics_writes_counter_lines(self, obs_dir):
+        obs.metrics().counter("cache.graph.hits", 4)
+        obs.metrics().gauge("pool.workers", 2)
+        obs.metrics().histogram("engine.band_time_imbalance").observe(1.5)
+        obs.flush_metrics()
+        events = read_own_file(obs_dir)
+        counters = {e["name"]: e["args"]["value"] for e in events if e["ph"] == "C"}
+        assert counters["cache.graph.hits"] == 4.0
+        assert counters["pool.workers"] == 2.0
+        hist = [e for e in events if e["name"] == "obs.histogram"]
+        assert hist and hist[0]["args"]["metric"] == "engine.band_time_imbalance"
+
+    def test_flush_metrics_disabled_is_noop(self, obs_off):
+        obs.metrics().counter("anything")
+        obs.flush_metrics()
+        assert not (obs_off / "obs").exists()
+
+
+class TestProgressHeartbeat:
+    def test_renders_counts_rate_and_eta(self):
+        reg = obs.MetricsRegistry()
+        clock = iter([0.0, 1.0, 2.0, 2.0]).__next__
+        lines: list[str] = []
+        hb = obs.ProgressHeartbeat(
+            10, emit=lines.append, interval=100.0, clock=clock, registry=reg,
+        )
+        hb.tick(executed=True)
+        hb.tick(replayed=True)
+        line = hb.render()
+        assert line.startswith("progress: 2/10 cells (20%)")
+        assert "1 executed, 1 replayed, 0 resumed" in line
+        assert "1.0 cells/s, ETA 8s" in line
+
+    def test_interval_gates_emission(self):
+        reg = obs.MetricsRegistry()
+        t = [0.0]
+        lines: list[str] = []
+        hb = obs.ProgressHeartbeat(
+            4, emit=lines.append, interval=5.0, clock=lambda: t[0], registry=reg,
+        )
+        hb.tick()          # t=0: inside the first interval -> silent
+        assert lines == []
+        t[0] = 6.0
+        hb.tick()          # interval elapsed -> one line
+        assert len(lines) == 1
+        hb.tick()          # immediately after -> gated again
+        assert len(lines) == 1
+
+    def test_baseline_excludes_earlier_sweeps(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("sweep.cells_executed", 50)  # a previous run's residue
+        hb = obs.ProgressHeartbeat(
+            2, emit=lambda _line: None, interval=100.0,
+            clock=iter([0.0, 1.0, 1.0]).__next__, registry=reg,
+        )
+        reg.counter("sweep.cells_executed")  # orchestrator-maintained
+        hb.tick()
+        assert "1 executed, 0 replayed" in hb.render()

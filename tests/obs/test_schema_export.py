@@ -1,0 +1,96 @@
+"""Schema validation of real emitted events, and the Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import export_chrome, to_chrome_trace
+from repro.obs.schema import validate_event, validate_events
+
+
+def emit_sample(obs_dir):
+    with obs.context(graph="g", ordering="vebo"):
+        with obs.span("run.execute", cat="run", algorithm="PR"):
+            obs.event("cache.get", cat="store", kind="graph", hit=True)
+    obs.metrics().counter("cache.graph.hits")
+    obs.flush_metrics()
+    return obs.read_events(obs_dir)
+
+
+class TestSchema:
+    def test_every_emitted_event_validates(self, obs_dir):
+        events = emit_sample(obs_dir)
+        assert events
+        assert validate_events(events) == []
+
+    def test_missing_field(self):
+        assert validate_event({"v": 1}) != []
+
+    def test_wrong_types(self):
+        base = {
+            "v": 1, "seq": 1, "ts": 0, "pid": 1, "tid": 1,
+            "ph": "I", "name": "x", "cat": "",
+        }
+        assert validate_event(base) == []
+        assert validate_event({**base, "seq": "1"})
+        assert validate_event({**base, "seq": True})  # bools are not ints here
+        assert validate_event({**base, "ph": "Q"})
+        assert validate_event({**base, "name": ""})
+        assert validate_event({**base, "seq": 0})
+        assert validate_event({**base, "v": 999})
+        assert validate_event({**base, "args": [1]})
+        assert validate_event({**base, "extra": 1})
+        assert validate_event("not an object")
+
+    def test_cross_event_invariants(self):
+        mk = lambda **kw: {
+            "v": 1, "seq": 1, "ts": 0, "pid": 1, "tid": 1,
+            "ph": "I", "name": "x", "cat": "", **kw,
+        }
+        # ts going backwards on one (pid, tid) is a violation...
+        bad_ts = [mk(seq=1, ts=10), mk(seq=2, ts=5)]
+        assert any("ts" in p for p in validate_events(bad_ts))
+        # ...but not across different threads.
+        ok = [mk(seq=1, ts=10, tid=1), mk(seq=2, ts=5, tid=2)]
+        assert validate_events(ok) == []
+        # seq must strictly increase per pid.
+        bad_seq = [mk(seq=2, ts=0), mk(seq=2, ts=1)]
+        assert any("seq" in p for p in validate_events(bad_seq))
+
+
+class TestChromeExport:
+    def test_phases_translate(self, obs_dir):
+        events = emit_sample(obs_dir)
+        trace = to_chrome_trace(events)
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        out = trace["traceEvents"]
+        phases = {e["ph"] for e in out}
+        assert phases <= {"B", "E", "i", "C", "M"}
+        instants = [e for e in out if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+        counters = [e for e in out if e["ph"] == "C"]
+        assert counters and counters[0]["args"] == {"cache.graph.hits": 1.0}
+        metas = [e for e in out if e["ph"] == "M"]
+        assert metas and metas[0]["name"] == "process_name"
+        spans = [e for e in out if e["ph"] in ("B", "E")]
+        assert spans
+        # Context attributes rode along into the span args.
+        begin = next(e for e in spans if e["ph"] == "B")
+        assert begin["args"]["graph"] == "g"
+        # Bookkeeping fields are dropped.
+        assert all("v" not in e and "seq" not in e for e in out)
+
+    def test_export_writes_valid_json(self, obs_dir, tmp_path):
+        emit_sample(obs_dir)
+        out = tmp_path / "nested" / "trace.json"
+        n = export_chrome(out, obs_dir)
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert len(data["traceEvents"]) == n > 0
+
+    def test_export_empty_log(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert export_chrome(out, tmp_path / "nowhere") == 0
+        assert json.loads(out.read_text(encoding="utf-8"))["traceEvents"] == []
