@@ -94,11 +94,16 @@ environment variables:
                         ~/.cache/repro-vebo)
   REPRO_CACHE_OFF       any non-empty value disables the artifact cache
                         everywhere, as if --no-cache were always given
+  REPRO_MMAP            any non-empty value memory-maps cached arrays on
+                        load (read-only, zero-copy) instead of reading
+                        them eagerly; equivalent to --mmap
 
-Cached artifacts are content-addressed npz bundles under
-<cache root>/{graph,ordering,partition,edgeorder}/; `datasets clean`
-removes only files the cache itself wrote (verified by an embedded
-marker), never foreign files.
+Cached artifacts are content-addressed bundles under
+<cache root>/{graph,ordering,partition,edgeorder}/ — one directory per
+artifact holding a manifest plus one mmap-friendly .npy file per array
+(legacy single-file .npz bundles are still read transparently);
+`datasets clean` removes only entries the cache itself wrote (verified
+by an embedded marker), never foreign files.
 """
 
 
@@ -145,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability for this invocation (equivalent to "
         "REPRO_OBS=1): spans/events/metrics are appended to "
         "<cache root>/obs/ for `obs report` and `obs export`",
+    )
+    parser.add_argument(
+        "--mmap", dest="mmap_on", action="store_true",
+        help="memory-map cached arrays on load instead of reading them "
+        "eagerly (equivalent to REPRO_MMAP=1): zero-copy, read-only, "
+        "bit-identical results",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -1033,8 +1044,6 @@ def _cmd_sweep_report(args) -> int:
 
 
 def _cmd_traces_list(args) -> int:
-    import numpy as np
-
     cache = _resolve_cli_cache(args)
     if cache is None:
         print("cache: disabled; no trace store")
@@ -1047,10 +1056,12 @@ def _cmd_traces_list(args) -> int:
           f"{'P':>5} {'steps':>6} {'iters':>6} {'size':>10}")
     for _kind, key, size in entries:
         try:
-            with np.load(cache.path_for("trace", key), allow_pickle=False) as data:
-                meta = json.loads(str(data["meta_json"]))
-                steps = int(data["record_index"].shape[0])
-        except (OSError, ValueError, KeyError):
+            arrays = cache.load("trace", key)
+            meta = json.loads(str(arrays["meta_json"]))
+            steps = int(arrays["record_index"].shape[0])
+        except (TypeError, ValueError, KeyError):
+            arrays = None
+        if arrays is None:
             print(f"{key[:12] + '..':<14} (unreadable bundle)")
             continue
         labels = meta.get("labels", {})
@@ -1235,6 +1246,11 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "no_cache", False) and not os.environ.get("REPRO_CACHE_OFF"):
         os.environ["REPRO_CACHE_OFF"] = "1"
         cache_off_set = True
+    # --mmap likewise exports REPRO_MMAP so sweep pool workers inherit it.
+    mmap_env_set = False
+    if getattr(args, "mmap_on", False) and not os.environ.get("REPRO_MMAP"):
+        os.environ["REPRO_MMAP"] = "1"
+        mmap_env_set = True
     # --cache-dir moves the whole on-disk footprint, event log included;
     # without this the obs sink would keep writing under the env/default
     # cache root the user just redirected away from.
@@ -1262,6 +1278,8 @@ def main(argv: list[str] | None = None) -> int:
             os.environ.pop(obs.OBS_ENV_VAR, None)
         if cache_off_set:
             os.environ.pop("REPRO_CACHE_OFF", None)
+        if mmap_env_set:
+            os.environ.pop("REPRO_MMAP", None)
         if obs_dir_set:
             os.environ.pop(obs.OBS_DIR_ENV_VAR, None)
 

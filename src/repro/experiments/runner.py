@@ -320,10 +320,15 @@ def execute(
     # gets, engine steps, band timings — carries the cell's identity.
     with obs.context(graph=graph.name, ordering=ordering_name, algorithm=algorithm), \
             obs.span("run.execute", cat="run"):
-        return _execute_inner(
+        result = _execute_inner(
             graph, algorithm, ordering_name, ordering, prepared, num_partitions,
             cache, traces, refresh, backend, replay_only, algo_kwargs,
         )
+        if obs.enabled():
+            # Sampled once per execution: the memory-footprint trend across
+            # a sweep (flat under mmap, staircase under eager loads).
+            obs.metrics().gauge("process.rss_bytes", obs.rss_bytes())
+        return result
 
 
 def _execute_inner(

@@ -512,6 +512,7 @@ def _run_cells_inner(
         # The counter feeds progress heartbeats even when event logging
         # is off — the registry is in-memory and always live.
         obs.metrics().counter(f"sweep.cells_{status}")
+        obs.metrics().gauge("process.rss_bytes", obs.rss_bytes())
         obs.event("sweep.cell", cat="sweep", status=status, cell=cell.label())
         if store is not None:
             store.append(

@@ -53,6 +53,11 @@ the read-only state, never on which other elements share the call.
 Every shipped algorithm and every conformance-suite op satisfies this by
 construction (they are all numpy-indexing expressions).
 
+Like the vectorized backend it derives from, this backend treats the
+graph's arrays as borrowed read-only buffers (they may be memory-mapped
+cache hits under ``REPRO_MMAP=1``); band plans and per-band outputs are
+freshly allocated.
+
 Threads, not processes
 ----------------------
 Chunk workers are a shared :class:`~concurrent.futures.ThreadPoolExecutor`:

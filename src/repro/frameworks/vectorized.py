@@ -81,6 +81,11 @@ class _SharedLayout:
     ``__init__``; the rest are lazy because only some algorithms need them
     (``csr_src`` only for dense push, ``push_perm`` only for dense push
     with an order-insensitive reduction, ...).
+
+    The borrowed graph arrays may be read-only — including memory-mapped
+    straight off the artifact cache — so every layout member here is a
+    *freshly allocated* derived array; nothing writes into
+    ``graph.csr``/``graph.csc`` buffers.
     """
 
     def __init__(self, graph: Graph, boundaries: np.ndarray) -> None:

@@ -19,6 +19,14 @@ recomputing anything.
 The arrays use ``int64`` indices throughout.  The paper's graphs reach
 1.8 G edges; our laptop-scale stand-ins do not, but keeping 64-bit offsets
 means the code paths are identical to what a full-scale run would need.
+
+Buffer ownership: construction *borrows* already-conforming arrays
+(contiguous ``int64`` passes through ``ascontiguousarray`` without a
+copy — including read-only memory-mapped arrays straight off the
+artifact cache) and marks every held array ``writeable=False``.  Nothing
+downstream may mutate ``offsets``/``adj``; algorithms allocate their own
+derived arrays.  That is what lets a cache hit under ``REPRO_MMAP=1``
+flow zero-copy from disk to the engine backends.
 """
 
 from __future__ import annotations
@@ -84,6 +92,39 @@ class CSRMatrix:
         adj.setflags(write=False)
         object.__setattr__(self, "offsets", offsets)
         object.__setattr__(self, "adj", adj)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def trusted(cls, offsets, adj) -> "CSRMatrix":
+        """Construct without the O(m) adjacency range scan.
+
+        For arrays that are already certified, e.g. loaded from the
+        content-addressed artifact cache whose key is a digest of these
+        very bytes.  The cheap offset invariants still run (they touch
+        only the small ``offsets`` array); ``adj`` entries are *not*
+        range-checked, so callers must pass only arrays a validated
+        ``CSRMatrix`` previously produced.  This is what keeps a
+        ``REPRO_MMAP=1`` cache hit lazy: the range scan would otherwise
+        fault every page of ``adj`` straight back in.
+        """
+        offsets = _as_index_array(offsets, "offsets")
+        adj = _as_index_array(adj, "adj")
+        if offsets.size == 0:
+            raise InvalidGraphError("offsets must have at least one entry")
+        if offsets[0] != 0:
+            raise InvalidGraphError("offsets[0] must be 0")
+        if np.any(np.diff(offsets) < 0):
+            raise InvalidGraphError("offsets must be non-decreasing")
+        if offsets[-1] != adj.size:
+            raise InvalidGraphError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(adj) ({adj.size})"
+            )
+        offsets.setflags(write=False)
+        adj.setflags(write=False)
+        self = object.__new__(cls)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "adj", adj)
+        return self
 
     # ------------------------------------------------------------------
     @property

@@ -44,7 +44,16 @@ from typing import Callable
 from repro.graph.csr import Graph
 from repro.graph import generators as gen
 
-__all__ = ["StandinSpec", "STANDIN_SPECS", "load", "available", "DEFAULT_SUITE"]
+__all__ = [
+    "StandinSpec",
+    "STANDIN_SPECS",
+    "load",
+    "available",
+    "DEFAULT_SUITE",
+    "build_powerlaw_ooc",
+    "OOC_VERTICES_PER_SCALE",
+    "OOC_EDGES_PER_VERTEX",
+]
 
 
 @dataclass(frozen=True)
@@ -148,6 +157,43 @@ STANDIN_SPECS: dict[str, StandinSpec] = {
 DEFAULT_SUITE = (
     "twitter", "friendster", "rmat", "powerlaw", "orkut", "livejournal", "yahoo", "usaroad",
 )
+
+
+#: ``powerlaw-ooc`` sizing: vertices per unit of ``scale`` and the edge factor.
+OOC_VERTICES_PER_SCALE = 32768
+OOC_EDGES_PER_VERTEX = 8
+
+
+def build_powerlaw_ooc(
+    scale: float = 1.0, seed: int = 12345, shards: int = 8, name: str = "powerlaw-ooc"
+) -> Graph:
+    """Build the out-of-core synthetic power-law graph shard by shard.
+
+    The edge list is never materialized: each shard is a deterministic
+    function of ``(seed, shard)`` (see
+    :func:`repro.graph.generators.powerlaw_shard_edges`) and is regenerated
+    on demand by the two-pass streaming builder, so peak memory is the
+    output CSR/CSC arrays plus one shard.  ``shards`` is part of the cache
+    identity — the same ``(scale, seed)`` at a different shard count is a
+    different (though statistically similar) graph.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    from repro.store.chunked import build_graph_from_chunks
+
+    n = max(64, int(OOC_VERTICES_PER_SCALE * scale))
+    total = n * OOC_EDGES_PER_VERTEX
+    base, extra = divmod(total, shards)
+
+    def make_chunks():
+        for shard in range(shards):
+            m = base + (1 if shard < extra else 0)
+            src, dst = gen.powerlaw_shard_edges(n, m, shard, seed=seed)
+            yield src, dst, None
+
+    return build_graph_from_chunks(make_chunks, num_vertices=n, name=name)
 
 
 def available() -> list[str]:

@@ -25,6 +25,7 @@ from repro.graph.csr import INDEX_DTYPE, Graph
 
 __all__ = [
     "zipf_powerlaw_graph",
+    "powerlaw_shard_edges",
     "rmat_graph",
     "erdos_renyi_graph",
     "road_grid_graph",
@@ -172,6 +173,46 @@ def zipf_powerlaw_graph(
         src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
     label = name or f"zipf(n={num_vertices},s={s:g})"
     return Graph.from_edges(src, dst, num_vertices, name=label)
+
+
+# ----------------------------------------------------------------------
+# Sharded power-law edges — the out-of-core scale tier's edge source
+# ----------------------------------------------------------------------
+
+def powerlaw_shard_edges(
+    num_vertices: int,
+    num_edges: int,
+    shard: int,
+    seed: int = 0,
+    skew: float = 2.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One deterministic shard of power-law edges, as ``(src, dst)``.
+
+    Unlike :func:`zipf_powerlaw_graph`, which materializes the whole edge
+    list at once, this generator produces edges *per shard*: shard ``k`` is
+    a pure function of ``(seed, k)`` (spawned via ``default_rng([seed,
+    shard])``), so a huge graph can be generated, consumed and discarded
+    one shard at a time without ever holding the full edge list.  The
+    shard union has Zipf-like in-degree skew: destinations are drawn by
+    inverse-transform sampling ``floor(n * u**skew)``, which concentrates
+    mass on low vertex IDs (hub vertices), while sources are uniform —
+    the same shape the paper's analytical model assumes.
+    """
+    if num_vertices <= 0:
+        raise InvalidGraphError("num_vertices must be positive")
+    if num_edges < 0:
+        raise InvalidGraphError("num_edges must be non-negative")
+    if shard < 0:
+        raise InvalidGraphError("shard must be non-negative")
+    if skew < 1.0:
+        raise InvalidGraphError("skew must be >= 1")
+    rng = np.random.default_rng([int(seed), int(shard)])
+    dst = np.floor(num_vertices * rng.random(num_edges) ** float(skew)).astype(
+        INDEX_DTYPE
+    )
+    np.clip(dst, 0, num_vertices - 1, out=dst)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=INDEX_DTYPE)
+    return src, dst
 
 
 # ----------------------------------------------------------------------

@@ -157,18 +157,30 @@ def save_npz(graph: Graph, path: str | os.PathLike) -> None:
 
 
 def load_npz(path: str | os.PathLike) -> Graph:
-    """Load a graph written by :func:`save_npz`."""
+    """Load a graph written by :func:`save_npz`.
+
+    The archive handle is closed on *every* exit path — including when the
+    stored arrays fail CSR validation — so repeated loads (successful or
+    not) cannot leak file descriptors.
+    """
     try:
-        data_ctx = np.load(path, allow_pickle=False)
+        data = np.load(path, allow_pickle=False)
     except OSError as exc:
         raise GraphFormatError(f"{path}: cannot read npz graph: {exc}") from exc
     except ValueError as exc:
         raise GraphFormatError(f"{path}: not an npz graph archive: {exc}") from exc
-    with data_ctx as data:
+    try:
+        if not hasattr(data, "files"):
+            # np.load returned a bare array: a .npy file, not an archive.
+            raise GraphFormatError(f"{path}: not an npz graph archive")
         try:
             csr = CSRMatrix(offsets=data["offsets"], adj=data["adj"])
             name = str(data["name"]) if "name" in data else Path(path).stem
         except KeyError as exc:
             raise GraphFormatError(f"{path}: missing array {exc}") from exc
+    finally:
+        close = getattr(data, "close", None)
+        if close is not None:
+            close()
     src, dst = csr.to_pairs()
     return Graph.from_edges(src, dst, csr.num_vertices, name=name)

@@ -33,6 +33,7 @@ from repro.obs.core import (
     read_events,
     reset,
     resolve_obs_dir,
+    rss_bytes,
     set_obs_dir,
     span,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "read_events",
     "reset",
     "resolve_obs_dir",
+    "rss_bytes",
     "set_obs_dir",
     "span",
 ]

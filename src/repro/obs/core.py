@@ -496,6 +496,22 @@ def metrics() -> MetricsRegistry:
     return _METRICS
 
 
+def rss_bytes() -> int:
+    """Current resident-set size of this process in bytes (0 if unknown).
+
+    Read from ``/proc/self/statm`` (Linux); the out-of-core tier uses this
+    as a gauge to prove memory-mapped loads keep the working set flat.
+    Cheap enough to sample per cache hit, and platform-gated so the obs
+    layer stays dependency-free.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError, AttributeError):
+        return 0
+
+
 def flush_metrics() -> None:
     """Snapshot the registry into the event log: one Chrome-style counter
     ("C") line per counter/gauge and one "I" line per histogram.  No-op

@@ -29,6 +29,11 @@ unchanged while input-order locality inside each degree class survives.
 Sorting by degree uses a counting sort (``numpy.argsort`` on negated
 degrees is O(n log n); the counting variant is O(n + N) as the paper
 requires), stable so that input order is preserved within a degree class.
+
+Every function in this module treats its inputs as *borrowed, read-only*
+buffers — degree arrays may come straight off a memory-mapped cache hit —
+and writes only into freshly allocated outputs (``assign``, ``perm``,
+count arrays), so VEBO runs zero-copy on mmapped graphs.
 """
 
 from __future__ import annotations

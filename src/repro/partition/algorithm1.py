@@ -36,6 +36,10 @@ vectorized cuts are bit-identical to the sequential reference scan
 float target ``i * (|E| / P)`` can round to either side of the integer
 cumulative count it is compared against, flipping the paper's
 ``|E[i]| >= avg`` test precisely when the tie is exact.
+
+Inputs (degree arrays, CSC offsets) are borrowed read-only — they may be
+memory-mapped cache hits — and only the freshly allocated ``boundaries``
+array is written.
 """
 
 from __future__ import annotations

@@ -88,10 +88,17 @@ class PartitionedGraph:
         from repro.store.serialization import unpack_partition
 
         try:
-            with np.load(path, allow_pickle=False) as data:
-                arrays = {name: data[name] for name in data.files}
+            data = np.load(path, allow_pickle=False)
         except (OSError, ValueError) as exc:
             raise CacheError(f"{path}: cannot read partition bundle: {exc}") from exc
+        try:
+            if not hasattr(data, "files"):
+                raise CacheError(f"{path}: not a partition bundle")
+            arrays = {name: data[name] for name in data.files}
+        finally:
+            close = getattr(data, "close", None)
+            if close is not None:
+                close()
         return unpack_partition(arrays)
 
     # ------------------------------------------------------------------

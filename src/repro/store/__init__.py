@@ -4,9 +4,9 @@ The store is the warm path under every benchmark and example: graphs,
 VEBO (or baseline) orderings, chunk partitions, COO edge orders and
 execution traces (:mod:`repro.store.traces`) are deterministic functions
 of a dataset spec and build parameters, so the store builds each
-artifact once, persists it as an ``.npz`` bundle keyed by a content hash
-(:mod:`repro.store.cache`), and replays it from disk on every later
-request.
+artifact once, persists it as a per-array ``.npy`` sidecar bundle keyed
+by a content hash (:mod:`repro.store.cache`), and replays it from disk on
+every later request — zero-copy via ``mmap`` when ``REPRO_MMAP=1``.
 
 Quickstart
 ----------
@@ -30,14 +30,22 @@ from repro.graph.csr import Graph
 from repro.ordering.base import OrderingResult, apply_ordering, get_ordering
 from repro.store.cache import (
     ARTIFACT_KINDS,
+    BUNDLE_VERSION,
+    MMAP_ENV_VAR,
     ArtifactCache,
     artifact_key,
     array_fingerprint,
     default_cache,
     default_cache_root,
+    mmap_enabled,
     resolve_cache,
 )
-from repro.store.chunked import iter_edge_chunks, read_edge_list_chunked
+from repro.store.chunked import (
+    build_graph_from_chunks,
+    build_graph_from_shard_files,
+    iter_edge_chunks,
+    read_edge_list_chunked,
+)
 from repro.store.registry import (
     DATASET_REGISTRY,
     DatasetSpec,
@@ -45,6 +53,7 @@ from repro.store.registry import (
     get_dataset,
     register_dataset,
     register_file_dataset,
+    register_sharded_dataset,
 )
 from repro.store import serialization as ser
 from repro.store.measurements import (
@@ -65,15 +74,19 @@ from repro.store.traces import (
 __all__ = [
     "ARTIFACT_KINDS",
     "ArtifactCache",
+    "BUNDLE_VERSION",
     "DATASET_REGISTRY",
     "DatasetSpec",
     "MEASUREMENT_VERSION",
+    "MMAP_ENV_VAR",
     "MeasurementStore",
     "StoredTrace",
     "TRACE_KEY_VERSION",
     "artifact_key",
     "array_fingerprint",
     "available_datasets",
+    "build_graph_from_chunks",
+    "build_graph_from_shard_files",
     "cached_edge_order",
     "cached_ordering",
     "cached_partition",
@@ -83,10 +96,12 @@ __all__ = [
     "iter_edge_chunks",
     "load_graph",
     "load_trace",
+    "mmap_enabled",
     "pack_trace",
     "read_edge_list_chunked",
     "register_dataset",
     "register_file_dataset",
+    "register_sharded_dataset",
     "resolve_cache",
     "samples_from_trace",
     "save_trace",

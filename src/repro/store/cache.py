@@ -7,21 +7,49 @@ runtime.  All of those artifacts are deterministic functions of (a) a
 dataset/graph identity and (b) the build parameters, so they are perfect
 candidates for a content-addressed cache: the cache *key* is a SHA-256
 digest over a canonical JSON encoding of the identifying payload, and the
-cache *value* is an ``.npz`` bundle of numpy arrays (see
+cache *value* is a bundle of numpy arrays (see
 :mod:`repro.store.serialization`).
 
-Layout on disk::
+Bundle format v2 (current)
+--------------------------
+One **directory** per artifact, holding one plain ``.npy`` sidecar file
+per array plus a JSON manifest::
 
     <root>/
-        graph/<40-hex-key>.npz
-        ordering/<40-hex-key>.npz
-        partition/<40-hex-key>.npz
-        edgeorder/<40-hex-key>.npz
-        trace/<40-hex-key>.npz
+        graph/<40-hex-key>/
+            manifest.json       magic marker, version, name -> file map
+            a0000.npy           first array
+            a0001.npy           ...
+        ordering/<40-hex-key>/...
+        partition/<40-hex-key>/...
+        edgeorder/<40-hex-key>/...
+        trace/<40-hex-key>/...
 
-Every bundle embeds a magic marker (``__repro_cache__``) so
+Plain ``.npy`` members are what makes the warm path *zero-copy*: unlike a
+compressed ``.npz``, they can be memory-mapped (``np.load(mmap_mode='r')``),
+so a cache hit hands the engines page-cache-backed, read-only views of the
+on-disk bytes instead of decompressing a private heap copy per load.
+
+Bundle format v1 (legacy, read-only)
+------------------------------------
+``<root>/<kind>/<key>.npz`` — a monolithic compressed archive.  Legacy
+bundles remain transparently readable (and cleanable); new writes always
+produce the v2 layout.  Array *content* is identical under both formats:
+the golden digests in ``tests/test_artifact_stability.py`` pin that the
+format migration cannot move a single artifact byte.
+
+Every bundle embeds a magic marker (``manifest.json``'s ``magic`` field
+for v2, the ``__repro_cache__`` array for v1) so
 :meth:`ArtifactCache.clean` can prove a file is cache-owned before deleting
 it; foreign files inside the cache root are never touched.
+
+Read-only contract
+------------------
+Every array returned by :meth:`ArtifactCache.load` has
+``writeable=False`` — memory-mapped or not.  Callers that need to mutate
+must copy; a caller scribbling on a cache-returned buffer could otherwise
+corrupt every later hit of the same key (and, under mmap, the on-disk
+bytes themselves).
 
 Configuration
 -------------
@@ -32,6 +60,12 @@ Configuration
     Any non-empty value disables caching globally: :func:`resolve_cache`
     returns ``None`` and all cache-aware call sites fall back to building
     from scratch.
+``REPRO_MMAP``
+    Any non-empty value makes v2 bundle loads memory-map their arrays
+    (``np.load(mmap_mode='r')``) instead of reading them eagerly.  Hits
+    then cost O(1) RSS until pages are touched, and N loads of the same
+    bundle share one set of physical pages.  Legacy v1 bundles cannot be
+    mapped and fall back to an eager (still read-only) load.
 """
 
 from __future__ import annotations
@@ -39,6 +73,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Callable, Iterable
@@ -50,23 +85,40 @@ from repro.errors import CacheError
 
 __all__ = [
     "ARTIFACT_KINDS",
+    "BUNDLE_VERSION",
+    "MMAP_ENV_VAR",
     "ArtifactCache",
     "artifact_key",
     "array_fingerprint",
     "default_cache",
     "default_cache_root",
+    "mmap_enabled",
     "resolve_cache",
 ]
 
-#: Marker array name stored inside every cache-owned npz bundle.
+#: Marker array name stored inside every legacy (v1) npz bundle.
 MAGIC_FIELD = "__repro_cache__"
-#: Marker value; bump the suffix when the bundle layout changes.
+#: v1 marker value; v1 bundles are read and cleaned but never written.
 MAGIC_VALUE = "repro-artifact-v1"
+#: Manifest filename inside every v2 bundle directory.
+MANIFEST_NAME = "manifest.json"
+#: v2 marker value, stored in the manifest's ``magic`` field.
+MAGIC_VALUE_V2 = "repro-artifact-v2"
+#: Current bundle layout version (written by :meth:`ArtifactCache.store`).
+BUNDLE_VERSION = 2
 
 #: The artifact families the cache knows how to segregate on disk.
 ARTIFACT_KINDS = ("graph", "ordering", "partition", "edgeorder", "trace")
 
+#: Environment gate for memory-mapped loads (``--mmap`` on the CLI).
+MMAP_ENV_VAR = "REPRO_MMAP"
+
 _KEY_HEX_CHARS = 40  # truncated SHA-256; 160 bits is ample for a local cache
+
+
+def mmap_enabled() -> bool:
+    """True when ``REPRO_MMAP`` asks for memory-mapped bundle loads."""
+    return bool(os.environ.get(MMAP_ENV_VAR))
 
 
 def _canonical(value):
@@ -92,7 +144,9 @@ def artifact_key(kind: str, payload: dict) -> str:
 
     Two payloads produce the same key iff their canonical JSON encodings
     match — so changing any build parameter (scale, seed, partition count,
-    algorithm, source-file digest, ...) changes the key.
+    algorithm, source-file digest, ...) changes the key.  The bundle
+    *format* version is deliberately not part of the key: v1 and v2
+    bundles of the same artifact are the same artifact.
     """
     blob = json.dumps(
         {"kind": kind, "payload": _canonical(payload)},
@@ -108,6 +162,7 @@ def array_fingerprint(*arrays: np.ndarray) -> str:
     This is what makes derived artifacts (orderings, partitions, edge
     orders) *content*-addressed: they key on the actual graph arrays, so a
     cached VEBO run can never be replayed against a different graph.
+    Works unchanged on memory-mapped inputs (reading pages on demand).
     """
     h = hashlib.sha256()
     for arr in arrays:
@@ -128,30 +183,124 @@ def default_cache_root() -> Path:
     return base / "repro-vebo"
 
 
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Enforce the cache's read-only contract on a loaded array."""
+    if isinstance(arr, np.ndarray):
+        arr.setflags(write=False)
+    return arr
+
+
+def _tree_size(path: Path) -> int:
+    """Total byte size of a bundle (file, or directory of sidecars).
+
+    Tolerates entries vanishing mid-walk: a concurrent writer of the
+    same content-addressed key may replace the bundle under us.
+    """
+    try:
+        if path.is_dir():
+            total = 0
+            for p in path.iterdir():
+                try:
+                    if p.is_file():
+                        total += p.stat().st_size
+                except OSError:
+                    continue
+            return total
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
 class ArtifactCache:
-    """A directory of content-addressed ``.npz`` artifact bundles."""
+    """A directory of content-addressed artifact bundles (v2 sidecar
+    directories, plus transparently-read legacy v1 ``.npz`` files)."""
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
 
     # ------------------------------------------------------------------
     def path_for(self, kind: str, key: str) -> Path:
+        """The v2 bundle directory for ``(kind, key)``."""
+        if kind not in ARTIFACT_KINDS:
+            raise CacheError(f"unknown artifact kind {kind!r}; use one of {ARTIFACT_KINDS}")
+        return self.root / kind / key
+
+    def legacy_path_for(self, kind: str, key: str) -> Path:
+        """The v1 (monolithic ``.npz``) bundle path for ``(kind, key)``."""
         if kind not in ARTIFACT_KINDS:
             raise CacheError(f"unknown artifact kind {kind!r}; use one of {ARTIFACT_KINDS}")
         return self.root / kind / f"{key}.npz"
 
     def has(self, kind: str, key: str) -> bool:
-        return self.path_for(kind, key).is_file()
+        return (self.path_for(kind, key) / MANIFEST_NAME).is_file() or (
+            self.legacy_path_for(kind, key).is_file()
+        )
 
     # ------------------------------------------------------------------
     def load(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
         """Return the bundle's arrays, or ``None`` on a cache miss.
 
-        A file that exists but cannot be parsed (truncated write from a
+        v2 bundle directories are preferred; a legacy v1 ``.npz`` at the
+        same key is read (eagerly — compressed archives cannot be mapped)
+        when no v2 bundle exists.  Every returned array is read-only; with
+        ``REPRO_MMAP`` set, v2 arrays are memory-mapped views of the
+        on-disk bytes.
+
+        A bundle that exists but cannot be parsed (truncated write from a
         crashed process, foreign file at the right path) is treated as a
         miss and removed, so a corrupt entry can never wedge the cache.
         """
         path = self.path_for(kind, key)
+        if path.is_dir():
+            return self._load_v2(kind, key, path)
+        return self._load_v1(kind, key)
+
+    def _load_v2(self, kind: str, key: str, path: Path) -> dict[str, np.ndarray] | None:
+        try:
+            manifest = json.loads((path / MANIFEST_NAME).read_text(encoding="utf-8"))
+            if not isinstance(manifest, dict):
+                raise ValueError("manifest is not a JSON object")
+        except (OSError, ValueError):
+            shutil.rmtree(path, ignore_errors=True)
+            self._note_get(kind, key, hit=False)
+            return None
+        if manifest.get("magic") != MAGIC_VALUE_V2:
+            # Right name, wrong provenance: do not trust, do not delete.
+            self._note_get(kind, key, hit=False)
+            return None
+        use_mmap = mmap_enabled()
+        mapped = 0
+        arrays: dict[str, np.ndarray] = {}
+        try:
+            members = manifest["arrays"]
+            if not isinstance(members, dict):
+                raise ValueError("manifest 'arrays' is not a mapping")
+            for name, fname in members.items():
+                fname = str(fname)
+                if os.sep in fname or fname.startswith((".", "/")):
+                    raise ValueError(f"unsafe member filename {fname!r}")
+                member = path / fname
+                arr = None
+                if use_mmap:
+                    try:
+                        arr = np.load(member, allow_pickle=False, mmap_mode="r")
+                        mapped += 1
+                    except ValueError:
+                        arr = None  # dtype/shape not mappable: read eagerly
+                if arr is None:
+                    arr = np.load(member, allow_pickle=False)
+                if not isinstance(arr, np.ndarray):
+                    raise ValueError(f"member {fname} is not a plain .npy array")
+                arrays[str(name)] = _readonly(arr)
+        except (OSError, ValueError, KeyError):
+            shutil.rmtree(path, ignore_errors=True)
+            self._note_get(kind, key, hit=False)
+            return None
+        self._note_get(kind, key, hit=True, mmapped=mapped > 0)
+        return arrays
+
+    def _load_v1(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        path = self.legacy_path_for(kind, key)
         if not path.is_file():
             self._note_get(kind, key, hit=False)
             return None
@@ -167,34 +316,75 @@ class ArtifactCache:
             self._note_get(kind, key, hit=False)
             return None
         arrays.pop(MAGIC_FIELD, None)
+        for arr in arrays.values():
+            _readonly(arr)
         self._note_get(kind, key, hit=True)
         return arrays
 
     @staticmethod
-    def _note_get(kind: str, key: str, hit: bool) -> None:
+    def _note_get(kind: str, key: str, hit: bool, mmapped: bool = False) -> None:
         if not obs.enabled():
             return
-        obs.event("cache.get", cat="store", kind=kind, key=key, hit=hit)
+        obs.event("cache.get", cat="store", kind=kind, key=key, hit=hit, mmap=mmapped)
         obs.metrics().counter(f"cache.{kind}.{'hits' if hit else 'misses'}")
+        if mmapped:
+            obs.metrics().counter(f"cache.{kind}.mmap_hits")
+        rss = obs.rss_bytes()
+        if rss:
+            obs.metrics().gauge("process.rss_bytes", rss)
 
     def store(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
-        """Atomically persist a bundle (write-to-temp, then rename)."""
+        """Atomically persist a v2 bundle (write-to-temp-dir, then rename).
+
+        Sidecar files are named positionally (``a0000.npy``...) and mapped
+        back to array names by the manifest, so array names may contain
+        characters that are unsafe in filenames (``meta.<key>``, ...).
+        """
         if MAGIC_FIELD in arrays:
             raise CacheError(f"array name {MAGIC_FIELD!r} is reserved")
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = Path(tempfile.mkdtemp(dir=path.parent, prefix=".tmp-"))
         try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(
-                    fh, **arrays, **{MAGIC_FIELD: np.array(MAGIC_VALUE)}
-                )
-            os.replace(tmp, path)
+            members: dict[str, str] = {}
+            for i, (name, arr) in enumerate(arrays.items()):
+                fname = f"a{i:04d}.npy"
+                np.save(tmp / fname, np.asarray(arr), allow_pickle=False)
+                members[str(name)] = fname
+            manifest = {
+                "magic": MAGIC_VALUE_V2,
+                "version": BUNDLE_VERSION,
+                "kind": kind,
+                "key": key,
+                "arrays": members,
+            }
+            (tmp / MANIFEST_NAME).write_text(
+                json.dumps(manifest, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            # Replace-first: an existing bundle is never removed while
+            # other processes may be reading it.  Keys are content
+            # digests, so a concurrent writer's bundle is equivalent.
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                if (path / MANIFEST_NAME).is_file():
+                    # Lost the race to an equivalent writer: keep theirs.
+                    shutil.rmtree(tmp, ignore_errors=True)
+                else:
+                    # A corrupt or foreign directory squats on the key;
+                    # evict it and take one more swing.
+                    shutil.rmtree(path, ignore_errors=True)
+                    os.replace(tmp, path)
+            # A legacy bundle at the same key is now shadowed; drop it so
+            # `entries`/`clean` never double-count one artifact.
+            legacy = self.legacy_path_for(kind, key)
+            if legacy.is_file() and self._owns_legacy(legacy):
+                legacy.unlink(missing_ok=True)
         except OSError as exc:
-            Path(tmp).unlink(missing_ok=True)
+            shutil.rmtree(tmp, ignore_errors=True)
             raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
         if obs.enabled():
-            size = path.stat().st_size
+            size = _tree_size(path)
             obs.event("cache.put", cat="store", kind=kind, key=key, bytes=size)
             obs.metrics().counter(f"cache.{kind}.puts")
             obs.metrics().counter(f"cache.{kind}.bytes_written", size)
@@ -217,47 +407,64 @@ class ArtifactCache:
         return arrays, False
 
     # ------------------------------------------------------------------
-    def _owned_files(self, kinds: Iterable[str]) -> list[Path]:
+    @staticmethod
+    def _owns_legacy(path: Path) -> bool:
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return (
+                    MAGIC_FIELD in data.files
+                    and str(data[MAGIC_FIELD]) == MAGIC_VALUE
+                )
+        except (OSError, ValueError):
+            return False
+
+    @staticmethod
+    def _owns_bundle_dir(path: Path) -> bool:
+        try:
+            manifest = json.loads((path / MANIFEST_NAME).read_text(encoding="utf-8"))
+            return isinstance(manifest, dict) and manifest.get("magic") == MAGIC_VALUE_V2
+        except (OSError, ValueError):
+            return False
+
+    def _owned_paths(self, kinds: Iterable[str]) -> list[Path]:
         owned = []
         for kind in kinds:
             folder = self.root / kind
             if not folder.is_dir():
                 continue
-            for path in sorted(folder.glob("*.npz")):
-                try:
-                    with np.load(path, allow_pickle=False) as data:
-                        is_ours = (
-                            MAGIC_FIELD in data.files
-                            and str(data[MAGIC_FIELD]) == MAGIC_VALUE
-                        )
-                except (OSError, ValueError):
-                    is_ours = False
-                if is_ours:
+            for path in sorted(folder.iterdir()):
+                if path.is_dir():
+                    if self._owns_bundle_dir(path):
+                        owned.append(path)
+                elif path.suffix == ".npz" and self._owns_legacy(path):
                     owned.append(path)
         return owned
 
     def clean(self, kind: str | None = None) -> list[Path]:
-        """Delete cache-owned bundles; return the paths removed.
+        """Delete cache-owned bundles (both formats); return removed paths.
 
-        Only files carrying the embedded magic marker are deleted —
+        Only bundles carrying the embedded magic marker are deleted —
         anything else found under the cache root (a user's own npz, a
-        stray download) is left alone.
+        stray download, a directory without our manifest) is left alone.
         """
         kinds = (kind,) if kind is not None else ARTIFACT_KINDS
         for k in kinds:
             if k not in ARTIFACT_KINDS:
                 raise CacheError(f"unknown artifact kind {k!r}; use one of {ARTIFACT_KINDS}")
         removed = []
-        for path in self._owned_files(kinds):
-            path.unlink()
+        for path in self._owned_paths(kinds):
+            if path.is_dir():
+                shutil.rmtree(path)
+            else:
+                path.unlink()
             removed.append(path)
         return removed
 
     def entries(self) -> list[tuple[str, str, int]]:
         """``(kind, key, size_bytes)`` for every cache-owned bundle."""
         out = []
-        for path in self._owned_files(ARTIFACT_KINDS):
-            out.append((path.parent.name, path.stem, path.stat().st_size))
+        for path in self._owned_paths(ARTIFACT_KINDS):
+            out.append((path.parent.name, path.stem, _tree_size(path)))
         return out
 
     def size_bytes(self) -> int:

@@ -31,6 +31,7 @@ __all__ = [
     "DATASET_REGISTRY",
     "register_dataset",
     "register_file_dataset",
+    "register_sharded_dataset",
     "get_dataset",
     "available_datasets",
     "file_digest",
@@ -183,6 +184,52 @@ def register_file_dataset(
     )
 
 
+def register_sharded_dataset(
+    name: str,
+    paths: list[str | Path] | tuple[str | Path, ...],
+    *,
+    num_vertices: int | None = None,
+    description: str = "",
+    chunk_lines: int | None = None,
+    replace: bool = False,
+) -> DatasetSpec:
+    """Register many edge-list shard files as one out-of-core dataset.
+
+    The shards are streamed through the two-pass builder
+    (:func:`repro.store.chunked.build_graph_from_shard_files`), so the
+    full multi-shard edge list is never concatenated in memory.  The cache
+    key embeds a digest of every shard (order-sensitive — shard order is
+    part of the dataset's identity, though the resulting graph is the
+    same canonical CSR either way).
+    """
+    shard_paths = [Path(p) for p in paths]
+    if not shard_paths:
+        raise DatasetError(f"sharded dataset {name!r} needs at least one shard file")
+
+    def build() -> Graph:
+        from repro.store.chunked import DEFAULT_CHUNK_LINES, build_graph_from_shard_files
+
+        return build_graph_from_shard_files(
+            shard_paths,
+            num_vertices=num_vertices,
+            name=name,
+            chunk_lines=chunk_lines or DEFAULT_CHUNK_LINES,
+        )
+
+    def fingerprint() -> dict:
+        return {"shard_sha256": [file_digest(p) for p in shard_paths]}
+
+    return register_dataset(
+        name,
+        build,
+        description=description or f"{len(shard_paths)} edge-list shard(s)",
+        defaults={},
+        source="file",
+        fingerprint_extra=fingerprint,
+        replace=replace,
+    )
+
+
 def get_dataset(name: str) -> DatasetSpec:
     try:
         return DATASET_REGISTRY[name]
@@ -212,6 +259,16 @@ def _register_standins() -> None:
             source="generated",
             replace=True,
         )
+    # The out-of-core scale tier: generated and ingested shard by shard,
+    # never holding the full edge list (see datasets.build_powerlaw_ooc).
+    register_dataset(
+        "powerlaw-ooc",
+        standins.build_powerlaw_ooc,
+        description="out-of-core power-law graph, built shard-by-shard",
+        defaults={"scale": 1.0, "seed": 12345, "shards": 8},
+        source="generated",
+        replace=True,
+    )
 
 
 _register_standins()

@@ -1,10 +1,15 @@
-"""Lossless ``.npz`` bundle encoding for cacheable artifacts.
+"""Lossless array-bundle encoding for cacheable artifacts.
 
-One artifact == one flat ``dict[str, np.ndarray]`` suitable for
-``np.savez_compressed``.  Scalar metadata (names, algorithm labels,
-timings, non-array ordering diagnostics) rides along in a single JSON
-string array under ``"meta_json"`` so bundles stay ``allow_pickle=False``
-safe.  Four artifact families are supported, mirroring the cache kinds:
+One artifact == one flat ``dict[str, np.ndarray]``; the cache persists it
+as per-array ``.npy`` sidecar files (mmap-friendly bundle format v2, with
+legacy ``.npz`` bundles still read — see :mod:`repro.store.cache`).
+Scalar metadata (names, algorithm labels, timings, non-array ordering
+diagnostics) rides along in a single JSON string array under
+``"meta_json"`` so bundles stay ``allow_pickle=False`` safe.  The unpack
+functions accept read-only (including memory-mapped) arrays: they only
+read their inputs, and the containers they build re-validate and expose
+the arrays read-only.  Four artifact families are supported, mirroring
+the cache kinds:
 
 =============  ======================================  =====================
 kind           packs                                   unpacks to
@@ -91,7 +96,7 @@ def graph_fingerprint(graph: Graph) -> str:
 
 def pack_graph(graph: Graph) -> dict[str, np.ndarray]:
     """Both directional views are stored so unpacking skips the
-    O(m log m) CSR->CSC rebuild — the warm path is pure array validation."""
+    O(m log m) CSR->CSC rebuild."""
     return {
         "offsets": graph.csr.offsets,
         "adj": graph.csr.adj,
@@ -102,13 +107,20 @@ def pack_graph(graph: Graph) -> dict[str, np.ndarray]:
 
 
 def unpack_graph(arrays: dict) -> Graph:
+    """Rebuild a graph from cache arrays via the trusted CSR constructor.
+
+    The bundle key is a content digest of these arrays and they were
+    validated when packed, so the O(m) adjacency range scan is skipped —
+    under ``REPRO_MMAP=1`` that scan would fault every mmapped page of
+    ``adj`` back in and defeat the lazy out-of-core load.
+    """
     offsets, adj, csc_offsets, csc_adj = _require(
         arrays, "offsets", "adj", "csc_offsets", "csc_adj"
     )
     meta = _meta_from_arrays(arrays)
     return Graph(
-        csr=CSRMatrix(offsets=offsets, adj=adj),
-        csc=CSRMatrix(offsets=csc_offsets, adj=csc_adj),
+        csr=CSRMatrix.trusted(offsets, adj),
+        csc=CSRMatrix.trusted(csc_offsets, csc_adj),
         name=meta.get("name", "graph"),
     )
 

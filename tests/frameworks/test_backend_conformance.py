@@ -23,7 +23,11 @@ separately by ``test_parallel_determinism.py``):
    {original, VEBO, Hilbert} vertex orderings (an id-preserving layout, an
    edge-balance-driven relabelling and a space-filling relabelling) on
    power-law and grid-ish graphs, plus the full 8-dataset registry matrix.
-3. **Hypothesis property** — random graphs, random frontiers, random
+3. **Borrowed-buffer runs** — the same engines and algorithms over graphs
+   whose ``offsets``/``adj`` are read-only ``np.memmap`` views (the buffer
+   shape a warm ``REPRO_MMAP=1`` cache hit produces): any in-place write
+   to a borrowed buffer raises immediately, any hidden copy diverges.
+4. **Hypothesis property** — random graphs, random frontiers, random
    reductions with hostile float values (negative zeros, subnormals, huge
    magnitudes, longest-ulp sums), random candidate sets (sorted and
    unsorted), one edgemap on each backend, everything compared bitwise.
@@ -56,7 +60,7 @@ from repro.frameworks.parallel import (
 from repro.frameworks.trace import WorkTrace
 from repro.frameworks.vectorized import VectorizedEngine
 from repro.graph import generators as gen
-from repro.graph.csr import Graph
+from repro.graph.csr import CSRMatrix, Graph
 from repro.partition.algorithm1 import chunk_boundaries
 
 CONFORMANCE_ORDERINGS = ["original", "vebo", "hilbert"]
@@ -401,7 +405,112 @@ def test_full_dataset_matrix_conforms(monkeypatch):
 
 
 # ----------------------------------------------------------------------
-# 3. hypothesis property
+# 3. borrowed read-only / memory-mapped graph buffers
+# ----------------------------------------------------------------------
+#
+# Under ``REPRO_MMAP=1`` a warm cache hit hands the engines graphs whose
+# ``offsets``/``adj`` are read-only ``np.memmap`` views of the on-disk
+# bundle.  An engine that mutated a borrowed buffer would raise
+# ``ValueError: assignment destination is read-only`` the moment it
+# tried; a silent copy would show up as a result divergence.  Both
+# failure modes are pinned here for all three backends.
+
+
+def _mmap_graph(graph: Graph, root) -> Graph:
+    """Round-trip a graph's four arrays through ``.npy`` files and rebuild
+    it on read-only memory maps — the exact buffer shape a warm
+    ``REPRO_MMAP=1`` cache hit produces."""
+    mapped = {}
+    for name, arr in (
+        ("csr_offsets", graph.csr.offsets), ("csr_adj", graph.csr.adj),
+        ("csc_offsets", graph.csc.offsets), ("csc_adj", graph.csc.adj),
+    ):
+        path = root / f"{name}.npy"
+        np.save(path, np.asarray(arr))
+        mapped[name] = np.load(path, mmap_mode="r")
+    return Graph(
+        csr=CSRMatrix(offsets=mapped["csr_offsets"], adj=mapped["csr_adj"]),
+        csc=CSRMatrix(offsets=mapped["csc_offsets"], adj=mapped["csc_adj"]),
+        name=graph.name,
+    )
+
+
+@pytest.fixture(scope="module")
+def mmap_graph(algo_graph, tmp_path_factory):
+    return _mmap_graph(algo_graph, tmp_path_factory.mktemp("mmap-conf"))
+
+
+def test_graph_buffers_are_read_only_and_mapped(algo_graph, mmap_graph):
+    """Eager and mmapped graphs alike hold ``writeable=False`` buffers;
+    the mmapped one really borrows the on-disk pages (no hidden copy)."""
+    for g in (algo_graph, mmap_graph):
+        for arr in (g.csr.offsets, g.csr.adj, g.csc.offsets, g.csc.adj):
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+    # ``CSRMatrix`` may rewrap the memmap in a base-class view; either way
+    # the underlying buffer must still be the memory map, not a copy.
+    for arr in (mmap_graph.csr.adj, mmap_graph.csc.adj):
+        assert isinstance(arr, np.memmap) or isinstance(arr.base, np.memmap)
+
+
+def test_lockstep_min_relaxation_on_mmapped_graph(
+    lockstep_graph, tmp_path, backend
+):
+    """The engine-level stepping contract holds when *both* engines borrow
+    read-only mmapped buffers."""
+    g = _mmap_graph(lockstep_graph, tmp_path)
+    n = g.num_vertices
+    ref, vec = make_pair(g, 24, backend=backend)
+    src = int(np.argmax(np.diff(np.asarray(g.csr.offsets))))
+    st_ref = {"dist": np.full(n, np.inf)}
+    st_ref["dist"][src] = 0.0
+    st_vec = {"dist": st_ref["dist"].copy()}
+    f_ref = f_vec = Frontier.from_ids(np.array([src]), n)
+    op = _min_op()
+    for _ in range(30):
+        if f_ref.is_empty():
+            break
+        f_ref = ref.edgemap(f_ref, op, st_ref, direction="auto")
+        f_vec = vec.edgemap(f_vec, op, st_vec, direction="auto")
+        assert_frontiers_identical(f_ref, f_vec)
+        assert_states_identical(st_ref, st_vec)
+    assert_traces_identical(ref.trace, vec.trace)
+
+
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+def test_algorithms_identical_on_mmapped_graph(
+    algo_graph, mmap_graph, monkeypatch, algo
+):
+    """All 8 algorithms on all three backends over a read-only mmapped
+    graph: bit-identical to the eager in-memory run, proving no backend
+    writes to (or depends on writing to) borrowed buffers."""
+    monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+    monkeypatch.setenv(MIN_WORK_ENV_VAR, "0")
+    p = 16
+    source = int(np.argmax(algo_graph.out_degrees()))
+    for backend_name in ["reference", *CONFORMANCE_BACKENDS]:
+        a = run_algorithm(algo_graph, algo, backend_name, p, source)
+        b = run_algorithm(mmap_graph, algo, backend_name, p, source)
+        assert_results_identical(a, b)
+
+
+def test_prepare_layouts_identical_on_mmapped_graph(algo_graph, mmap_graph):
+    """VEBO + Algorithm 1 layout preparation consumes the mmapped buffers
+    directly (degree counting, counting sort, partitioning) and must land
+    on the same layout, bit for bit."""
+    eager = prepare(algo_graph, "vebo", num_partitions=16)
+    mapped = prepare(mmap_graph, "vebo", num_partitions=16)
+    assert np.array_equal(np.asarray(mapped.perm), np.asarray(eager.perm))
+    assert np.array_equal(
+        np.asarray(mapped.boundaries), np.asarray(eager.boundaries)
+    )
+    assert mapped.graph.csr == eager.graph.csr
+    assert mapped.graph.csc == eager.graph.csc
+
+
+# ----------------------------------------------------------------------
+# 4. hypothesis property
 # ----------------------------------------------------------------------
 
 _HOSTILE = st.sampled_from([

@@ -79,6 +79,32 @@ class TestCSRMatrix:
         assert list(csr.slice_edges(1, 3)) == [0, 2, 0]
 
 
+class TestTrustedConstructor:
+    def test_trusted_equals_validated(self):
+        a = CSRMatrix.from_pairs(np.array([0, 1, 1, 2]), np.array([1, 0, 2, 0]), 3)
+        b = CSRMatrix.trusted(a.offsets, a.adj)
+        assert a == b
+        assert not b.offsets.flags.writeable
+        assert not b.adj.flags.writeable
+
+    def test_trusted_still_checks_offsets(self):
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix.trusted(np.array([1, 2]), np.array([0]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix.trusted(np.array([0, 2, 1]), np.array([0, 0]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix.trusted(np.array([0, 1]), np.array([0, 0]))
+        with pytest.raises(InvalidGraphError):
+            CSRMatrix.trusted(np.array([0.0, 1.0]), np.array([0]))
+
+    def test_trusted_skips_the_adjacency_scan(self):
+        """The whole point: ``adj`` pages are never read at construction.
+        An out-of-range entry is therefore *not* caught here — only
+        certified cache arrays may take this path."""
+        csr = CSRMatrix.trusted(np.array([0, 1]), np.array([7]))
+        assert csr.num_edges == 1
+
+
 class TestGraph:
     def test_from_edges_views_consistent(self):
         g = Graph.from_edges([0, 0, 1, 2], [1, 2, 2, 0], 3)

@@ -113,6 +113,43 @@ class TestNpz:
         assert np.array_equal(g2.csr.adj, small_grid.csr.adj)
         assert g2.name == small_grid.name
 
+    def test_bare_npy_rejected_not_crashed(self, tmp_path):
+        path = tmp_path / "plain.npy"
+        np.save(path, np.arange(4))
+        with pytest.raises(GraphFormatError, match="not an npz"):
+            load_npz(path)
+
+    def _open_fds(self):
+        import os
+
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_repeated_loads_leak_no_file_handles(self, tmp_path, small_grid):
+        path = tmp_path / "g.npz"
+        save_npz(small_grid, path)
+        load_npz(path)  # warm any lazy imports before taking the baseline
+        baseline = self._open_fds()
+        for _ in range(32):
+            load_npz(path)
+        assert self._open_fds() <= baseline
+
+    def test_failed_loads_leak_no_file_handles(self, tmp_path):
+        # A valid archive whose arrays fail CSR validation: np.load succeeds
+        # and the handle is open when the constructor raises.
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path, offsets=np.array([0, 2, 1]), adj=np.array([0, 0])
+        )
+        from repro.errors import InvalidGraphError
+
+        with pytest.raises(InvalidGraphError):
+            load_npz(path)  # warm-up
+        baseline = self._open_fds()
+        for _ in range(32):
+            with pytest.raises(InvalidGraphError):
+                load_npz(path)
+        assert self._open_fds() <= baseline
+
 
 class TestTypedErrors:
     """Every reader failure surfaces as the library's GraphFormatError,

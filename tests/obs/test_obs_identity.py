@@ -41,9 +41,15 @@ def cache_digests(root) -> dict[str, str]:
         if not kind_dir.is_dir():
             continue
         for path in sorted(kind_dir.iterdir()):
-            out[f"{kind}/{path.name}"] = hashlib.sha256(
-                path.read_bytes()
-            ).hexdigest()
+            # v2 bundles are directories of sidecar files; legacy ones
+            # are single npz files.  Digest every byte either way.
+            members = sorted(path.rglob("*")) if path.is_dir() else [path]
+            for member in members:
+                if member.is_file():
+                    rel = member.relative_to(kind_dir)
+                    out[f"{kind}/{rel}"] = hashlib.sha256(
+                        member.read_bytes()
+                    ).hexdigest()
     return out
 
 

@@ -145,8 +145,22 @@ class TestCacheBehaviour:
         cache.get_or_build("graph", "a" * 40, build, refresh=True)
         assert len(calls) == 2
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+    def test_corrupt_manifest_is_a_miss_and_removed(self, cache):
+        cache.store("graph", "b" * 40, {"x": np.arange(3)})
         path = cache.path_for("graph", "b" * 40)
+        (path / "manifest.json").write_text("truncated garbage")
+        assert cache.load("graph", "b" * 40) is None
+        assert not path.exists()
+
+    def test_corrupt_sidecar_is_a_miss_and_removed(self, cache):
+        cache.store("graph", "b" * 40, {"x": np.arange(3)})
+        path = cache.path_for("graph", "b" * 40)
+        (path / "a0000.npy").write_bytes(b"truncated garbage")
+        assert cache.load("graph", "b" * 40) is None
+        assert not path.exists()
+
+    def test_corrupt_legacy_bundle_is_a_miss_and_removed(self, cache):
+        path = cache.legacy_path_for("graph", "b" * 40)
         path.parent.mkdir(parents=True)
         path.write_bytes(b"truncated garbage")
         assert cache.load("graph", "b" * 40) is None

@@ -3,10 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidGraphError
 from repro.graph import generators as gen
+from repro.graph.csr import Graph
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.store.chunked import (
+    build_graph_from_chunks,
+    build_graph_from_shard_files,
     iter_edge_chunks,
     read_edge_list_chunked,
 )
@@ -50,6 +53,113 @@ class TestChunkedEquivalence:
         path.write_text("# Nodes: 50 Edges: 1\n0 1\n")
         g = read_edge_list_chunked(path, num_vertices=5)
         assert g.num_vertices == 5
+
+
+def _random_chunks(n, m, seed, pieces):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    step = max(1, m // pieces)
+    chunks = [
+        (src[i : i + step], dst[i : i + step], None) for i in range(0, m, step)
+    ]
+    return src, dst, chunks
+
+
+class TestStreamingBuilder:
+    """Two-pass out-of-core construction is bit-identical to the eager path."""
+
+    @pytest.mark.parametrize("pieces", [1, 3, 17])
+    def test_bit_identical_to_from_edges(self, pieces):
+        src, dst, chunks = _random_chunks(150, 2000, 9, pieces)
+        streamed = build_graph_from_chunks(lambda: iter(chunks), num_vertices=150)
+        eager = Graph.from_edges(src, dst, 150)
+        assert np.array_equal(streamed.csr.offsets, eager.csr.offsets)
+        assert np.array_equal(streamed.csr.adj, eager.csr.adj)
+        assert np.array_equal(streamed.csc.offsets, eager.csc.offsets)
+        assert np.array_equal(streamed.csc.adj, eager.csc.adj)
+
+    def test_vertex_count_inferred_from_endpoints(self):
+        src, dst, chunks = _random_chunks(80, 500, 2, 5)
+        streamed = build_graph_from_chunks(lambda: iter(chunks))
+        eager = Graph.from_edges(src, dst, None)
+        assert streamed.num_vertices == eager.num_vertices
+        assert np.array_equal(streamed.csr.adj, eager.csr.adj)
+
+    def test_hint_respected_when_num_vertices_omitted(self):
+        chunks = [(np.array([0, 1]), np.array([1, 0]), 9)]
+        g = build_graph_from_chunks(lambda: iter(chunks))
+        assert g.num_vertices == 9
+
+    def test_empty_stream(self):
+        g = build_graph_from_chunks(lambda: iter([]), num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_negative_endpoint_rejected(self):
+        chunks = [(np.array([0, -1]), np.array([1, 1]), None)]
+        with pytest.raises(InvalidGraphError):
+            build_graph_from_chunks(lambda: iter(chunks), num_vertices=3)
+
+    def test_endpoint_beyond_num_vertices_rejected(self):
+        chunks = [(np.array([0, 7]), np.array([1, 1]), None)]
+        with pytest.raises(InvalidGraphError):
+            build_graph_from_chunks(lambda: iter(chunks), num_vertices=3)
+
+    def test_nondeterministic_stream_detected(self):
+        calls = []
+
+        def make_chunks():
+            calls.append(1)
+            m = 4 if len(calls) == 1 else 3
+            yield np.zeros(m, dtype=np.int64), np.zeros(m, dtype=np.int64), None
+
+        with pytest.raises(InvalidGraphError, match="not deterministic"):
+            build_graph_from_chunks(make_chunks, num_vertices=2)
+
+    def test_streaming_flag_matches_eager_reader(self, tmp_path):
+        g = gen.zipf_powerlaw_graph(200, s=1.1, max_degree=25, seed=6, name="g")
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        eager = read_edge_list_chunked(path, chunk_lines=64)
+        streamed = read_edge_list_chunked(path, chunk_lines=64, streaming=True)
+        assert eager.csr == streamed.csr
+        assert eager.csc == streamed.csc
+
+    def test_shard_files_match_concatenated_build(self, tmp_path):
+        src, dst, _ = _random_chunks(60, 600, 13, 1)
+        paths = []
+        for s in range(4):
+            p = tmp_path / f"shard{s}.txt"
+            lo, hi = s * 150, (s + 1) * 150
+            p.write_text(
+                "".join(f"{a}\t{b}\n" for a, b in zip(src[lo:hi], dst[lo:hi]))
+            )
+            paths.append(p)
+        g = build_graph_from_shard_files(paths, num_vertices=60, chunk_lines=37)
+        eager = Graph.from_edges(src, dst, 60)
+        assert np.array_equal(g.csr.offsets, eager.csr.offsets)
+        assert np.array_equal(g.csr.adj, eager.csr.adj)
+        assert np.array_equal(g.csc.adj, eager.csc.adj)
+
+    def test_shard_files_require_at_least_one(self):
+        with pytest.raises(GraphFormatError, match="no shard"):
+            build_graph_from_shard_files([])
+
+    def test_powerlaw_ooc_dataset_matches_itself_and_caches(self, tmp_path, monkeypatch):
+        from repro import store
+        from repro.graph.datasets import build_powerlaw_ooc
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_CACHE_OFF", raising=False)
+        a = build_powerlaw_ooc(scale=0.02, shards=3)
+        b = store.load_graph("powerlaw-ooc", scale=0.02, shards=3)  # cold build
+        c = store.load_graph("powerlaw-ooc", scale=0.02, shards=3)  # cache hit
+        assert np.array_equal(a.csr.adj, np.asarray(b.csr.adj))
+        assert np.array_equal(a.csr.adj, np.asarray(c.csr.adj))
+        # a different shard count is a different cache identity
+        d = store.load_graph("powerlaw-ooc", scale=0.02, shards=5)
+        assert d.num_vertices == a.num_vertices
 
 
 class TestChunkedErrors:

@@ -26,10 +26,10 @@ class TestDatasetsCommands:
 
     def test_build_populates_cache_and_clean_empties_it(self, cache_dir, capsys):
         assert main(["datasets", "build", "usaroad", "--scale", "0.05"]) == 0
-        bundles = list(cache_dir.rglob("*.npz"))
+        bundles = list(cache_dir.rglob("manifest.json"))
         assert len(bundles) == 1
         assert main(["datasets", "clean"]) == 0
-        assert list(cache_dir.rglob("*.npz")) == []
+        assert list(cache_dir.rglob("manifest.json")) == []
         out = capsys.readouterr().out
         assert "removed 1 artifact" in out
 
@@ -39,7 +39,7 @@ class TestDatasetsCommands:
             "-p", "8", "--edge-order", "csr",
         ])
         assert code == 0
-        kinds = {p.parent.name for p in cache_dir.rglob("*.npz")}
+        kinds = {p.parent.parent.name for p in cache_dir.rglob("manifest.json")}
         assert kinds == {"graph", "partition", "edgeorder"}
 
     def test_build_custom_dataset_without_scale_seed_params(self, cache_dir, capsys):
@@ -76,6 +76,20 @@ class TestDatasetsCommands:
         finally:
             DATASET_REGISTRY.pop("_test_big", None)
 
+    def test_mmap_flag_replays_warm_cache(self, cache_dir, capsys):
+        import os
+
+        before = os.environ.get("REPRO_MMAP")
+        assert main(["datasets", "build", "usaroad", "--scale", "0.05"]) == 0
+        assert main(["--mmap", "datasets", "build", "usaroad", "--scale", "0.05"]) == 0
+        # the flag exports REPRO_MMAP for the invocation only, restoring
+        # whatever the suite-level environment had before
+        assert os.environ.get("REPRO_MMAP") == before
+
+    def test_build_out_of_core_dataset(self, cache_dir, capsys):
+        assert main(["datasets", "build", "powerlaw-ooc", "--scale", "0.02"]) == 0
+        assert list(cache_dir.rglob("manifest.json"))
+
     def test_build_unknown_dataset_fails_cleanly(self, cache_dir, capsys):
         assert main(["datasets", "build", "no-such-graph"]) == 1
         assert "no-such-graph" in capsys.readouterr().err
@@ -97,7 +111,7 @@ class TestDatasetsCommands:
             "datasets", "build", "usaroad", "--scale", "0.05",
             "--cache-dir", str(other),
         ]) == 0
-        assert list(other.rglob("*.npz"))
+        assert list(other.rglob("manifest.json"))
         assert not cache_dir.exists()
 
 

@@ -12,6 +12,7 @@ from repro.store.registry import (
     DATASET_REGISTRY,
     register_dataset,
     register_file_dataset,
+    register_sharded_dataset,
 )
 
 
@@ -48,6 +49,11 @@ class TestRegistry:
             assert name in DATASET_REGISTRY
         listed = store.available_datasets()
         assert listed[: len(standins.DEFAULT_SUITE)] == list(standins.DEFAULT_SUITE)
+
+    def test_out_of_core_spec_registered(self):
+        spec = store.get_dataset("powerlaw-ooc")
+        assert spec.source == "generated"
+        assert set(spec.defaults) == {"scale", "seed", "shards"}
 
     def test_unknown_dataset_raises_typed_error(self):
         with pytest.raises(DatasetError, match="unknown dataset"):
@@ -211,3 +217,53 @@ class TestDerivedArtifacts:
         assert np.array_equal(p1.perm, p2.perm)
         assert np.array_equal(p1.boundaries, p2.boundaries)
         assert p1.graph.csr == p2.graph.csr
+
+
+class TestShardedDatasets:
+    def _write_shards(self, tmp_path, src, dst, pieces):
+        paths = []
+        step = len(src) // pieces
+        for s in range(pieces):
+            p = tmp_path / f"shard{s}.txt"
+            lo, hi = s * step, (s + 1) * step if s < pieces - 1 else len(src)
+            p.write_text(
+                "".join(f"{a}\t{b}\n" for a, b in zip(src[lo:hi], dst[lo:hi]))
+            )
+            paths.append(p)
+        return paths
+
+    def test_sharded_build_matches_eager(self, tmp_path, cache):
+        rng = np.random.default_rng(21)
+        src = rng.integers(0, 40, 300)
+        dst = rng.integers(0, 40, 300)
+        paths = self._write_shards(tmp_path, src, dst, 3)
+        DATASET_REGISTRY.pop("_test_shards", None)
+        try:
+            register_sharded_dataset("_test_shards", paths, num_vertices=40)
+            g = store.load_graph("_test_shards", cache=cache)
+            from repro.graph.csr import Graph
+
+            eager = Graph.from_edges(src, dst, 40)
+            assert np.array_equal(np.asarray(g.csr.adj), eager.csr.adj)
+            assert np.array_equal(np.asarray(g.csc.adj), eager.csc.adj)
+        finally:
+            DATASET_REGISTRY.pop("_test_shards", None)
+
+    def test_fingerprint_covers_every_shard(self, tmp_path, cache):
+        rng = np.random.default_rng(22)
+        src = rng.integers(0, 20, 90)
+        dst = rng.integers(0, 20, 90)
+        paths = self._write_shards(tmp_path, src, dst, 3)
+        DATASET_REGISTRY.pop("_test_shards", None)
+        try:
+            spec = register_sharded_dataset("_test_shards", paths, num_vertices=20)
+            before = spec.cache_payload()
+            paths[-1].write_text("0\t1\n")  # edit the *last* shard
+            after = spec.cache_payload()
+            assert before != after
+        finally:
+            DATASET_REGISTRY.pop("_test_shards", None)
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(DatasetError, match="at least one shard"):
+            register_sharded_dataset("_test_none", [])

@@ -300,7 +300,7 @@ class TestStoreIntegration:
         trace = make_trace()
         key = trace_key(graph, "PR", "original", 4, {})
         path = save_trace(key, trace, 5, cache=cache, labels={"ordering": "original"})
-        assert path is not None and path.is_file()
+        assert path is not None and path.exists()
         stored = load_trace(key, cache=cache)
         assert stored is not None
         assert traces_equal(stored.trace, trace)
